@@ -1,0 +1,53 @@
+//! End-to-end simulator throughput: how fast the host machine runs one
+//! whole collective-computing operation (16 ranks, ~2 MB), for the three
+//! execution paths. Useful for catching host-side performance regressions
+//! in the engines themselves.
+
+use cc_core::{object_get_vara, IoMode, ObjectIo, SumKernel};
+use cc_model::ClusterModel;
+use cc_mpi::World;
+use cc_mpiio::Hints;
+use cc_workloads::ClimateWorkload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn run_once(workload: &ClimateWorkload, mode: IoMode, blocking: bool) -> f64 {
+    let model = ClusterModel::test_tiny(16);
+    let fs = workload.build_fs(8, model.disk.clone());
+    let world = World::new(workload.nprocs(), model);
+    let fs = &fs;
+    let ends = world.run(move |comm| {
+        let file = fs.open(ClimateWorkload::FILE).expect("created");
+        let slab = workload.slab(comm.rank());
+        let io = ObjectIo::new(slab.start().to_vec(), slab.count().to_vec())
+            .mode(mode)
+            .blocking(blocking)
+            .hints(Hints {
+                cb_buffer_size: 128 << 10,
+                ..Hints::default()
+            });
+        object_get_vara(comm, fs, &file, workload.var(), &io, &SumKernel)
+            .report
+            .end
+            .secs()
+    });
+    ends.into_iter().fold(0.0, f64::max)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let workload = ClimateWorkload::interleaved_3d(16, 16, 2, 256, 32 << 10, 8);
+    let mut group = c.benchmark_group("simulate_16rank_2mb");
+    group.sample_size(20);
+    group.bench_function("collective_computing", |b| {
+        b.iter(|| black_box(run_once(&workload, IoMode::Collective, false)))
+    });
+    group.bench_function("traditional_baseline", |b| {
+        b.iter(|| black_box(run_once(&workload, IoMode::Collective, true)))
+    });
+    group.bench_function("independent", |b| {
+        b.iter(|| black_box(run_once(&workload, IoMode::Independent, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the hot paths: datatype flattening, offset-list
+//! intersection, logical-map construction, kernels, and the wire codec.
+//! These measure *host* wall time (the simulator's own cost), not virtual
+//! time.
+
+use cc_array::{construct_runs, DType, Hyperslab, Shape, Variable};
+use cc_core::{MapKernel, MinLocKernel, SumKernel};
+use cc_mpi::elem::{decode_vec, encode_slice};
+use cc_mpiio::{Extent, OffsetList};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_flatten(c: &mut Criterion) {
+    let shape = Shape::new(vec![64, 32, 64, 128]);
+    let var = Variable::new("v", shape, DType::F32, 0);
+    let slab = Hyperslab::new(vec![4, 2, 8, 16], vec![32, 16, 32, 64]);
+    c.bench_function("flatten_4d_hyperslab_16k_runs", |b| {
+        b.iter(|| black_box(var.byte_extents(black_box(&slab))))
+    });
+}
+
+fn bench_locate(c: &mut Criterion) {
+    // 10k extents of 64 bytes with 64-byte gaps.
+    let list = OffsetList::new(
+        (0..10_000u64)
+            .map(|i| Extent {
+                offset: i * 128,
+                len: 64,
+            })
+            .collect(),
+    );
+    c.bench_function("offset_list_locate_10k_extents", |b| {
+        b.iter(|| black_box(list.locate(black_box(400_000), black_box(600_000))))
+    });
+    c.bench_function("offset_list_build_10k_extents", |b| {
+        b.iter(|| {
+            let raw: Vec<Extent> = (0..10_000u64)
+                .map(|i| Extent {
+                    offset: i * 128,
+                    len: 64,
+                })
+                .collect();
+            black_box(OffsetList::new(raw))
+        })
+    });
+}
+
+fn bench_construct_runs(c: &mut Criterion) {
+    let shape = Shape::new(vec![128, 64, 64]);
+    let var = Variable::new("v", shape, DType::F64, 0);
+    let slab = Hyperslab::new(vec![0, 8, 0], vec![128, 32, 64]);
+    let request = var.byte_extents(&slab);
+    c.bench_function("construct_runs_4k_chunk", |b| {
+        b.iter(|| {
+            black_box(construct_runs(
+                black_box(&var),
+                black_box(&request),
+                1 << 18,
+                1 << 20,
+            ))
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let values: Vec<f64> = (0..1_000_000).map(|i| (i % 997) as f64).collect();
+    let mut group = c.benchmark_group("kernel_map_1m_values");
+    for kernel in [&SumKernel as &dyn MapKernel, &MinLocKernel] {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut acc = kernel.identity();
+                kernel.map(&mut acc, 0, black_box(&values));
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let values: Vec<f64> = (0..262_144).map(|i| i as f64).collect();
+    c.bench_function("elem_encode_2mb_f64", |b| {
+        b.iter(|| black_box(encode_slice(black_box(&values))))
+    });
+    let bytes = encode_slice(&values);
+    c.bench_function("elem_decode_2mb_f64", |b| {
+        b.iter(|| black_box(decode_vec::<f64>(black_box(&bytes))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flatten,
+    bench_locate,
+    bench_construct_runs,
+    bench_kernels,
+    bench_codec
+);
+criterion_main!(benches);

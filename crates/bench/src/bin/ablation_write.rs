@@ -1,0 +1,5 @@
+//! Ablation study: write strategy. Pass --quick for a smaller run.
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    cc_bench::emit(&cc_bench::ablation_write(scale), "ablation_write");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 13. Pass --quick for a smaller run.
+fn main() {
+    let scale = cc_bench::Scale::from_args();
+    cc_bench::emit(&cc_bench::fig13(scale), "fig13");
+}

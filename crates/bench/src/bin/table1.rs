@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I.
+fn main() {
+    cc_bench::emit(&cc_bench::table1(), "table1");
+}

@@ -1,0 +1,546 @@
+//! The collective-computing engine (the paper's Figs. 4, 7, 8).
+//!
+//! Phase 1 is the two-phase protocol's aggregated read, unchanged. But
+//! instead of shuffling raw bytes, each aggregator *constructs* the logical
+//! runs of every requester inside the chunk (the logical map), applies the
+//! user kernel to them in place, and caches one partial result per owner.
+//! The shuffle phase then moves only those partials, under one of two
+//! reduce topologies (paper §III-C): all-to-one (everything to a single
+//! node, which constructs per-process results and reduces) or all-to-all
+//! (each process gets its own partials, reduces locally, and a final
+//! reduce produces the global result).
+//!
+//! In non-blocking mode (the paper's default) the map of iteration `i`
+//! runs on a separate lane and overlaps the read of iteration `i+1`, with
+//! the map rate scaled by the node's idle cores (see the crate docs).
+
+use cc_array::{construct_runs, Hyperslab, Variable};
+use cc_model::{Lane, SimTime};
+use cc_mpi::comm::TagValue;
+use cc_mpi::Comm;
+use cc_mpiio::exchange::exchange_requests;
+use cc_mpiio::{independent_read, CollectivePlan, Hints};
+use cc_pfs::{FileHandle, Pfs};
+use cc_profile::{Activity, Segment};
+
+use crate::baseline::{map_buffer, traditional_get_vara_partial};
+use crate::intermediate::IntermediateSet;
+use crate::kernel::{MapKernel, Partial, PartialReduceOp};
+use crate::object::{IoMode, ObjectIo, ReduceMode};
+
+/// Tag for intermediate-result messages.
+const TAG_RESULTS: TagValue = 0x4000_0001;
+
+/// The default root rank for reductions.
+pub fn default_root() -> usize {
+    0
+}
+
+/// Durations of one collective-computing iteration at an aggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcIterTiming {
+    /// Read-phase duration (including OST queueing).
+    pub read: SimTime,
+    /// Map-phase duration (kernel + metadata construction).
+    pub map: SimTime,
+}
+
+/// What one rank observed during a collective-computing operation.
+#[derive(Debug, Clone, Default)]
+pub struct CcReport {
+    /// Virtual time entering the operation.
+    pub start: SimTime,
+    /// Virtual time when this rank's role completed.
+    pub end: SimTime,
+    /// Per-iteration read/map timings (aggregators only).
+    pub iterations: Vec<CcIterTiming>,
+    /// Bytes this rank read from the file system (aggregator role).
+    pub bytes_read: u64,
+    /// Words of intermediate results this rank sent.
+    pub result_words_shuffled: u64,
+    /// Logical-run metadata entries this rank created (Fig. 12's x-axis
+    /// sweep changes this through the buffer size).
+    pub metadata_entries: u64,
+    /// Bytes of that metadata.
+    pub metadata_bytes: u64,
+    /// The paper's "local reduction" overhead: logical construction plus
+    /// intermediate-result combining (Fig. 11).
+    pub local_reduction: SimTime,
+    /// Activity segments for CPU profiling.
+    pub segments: Vec<Segment>,
+}
+
+impl CcReport {
+    /// Total elapsed virtual time.
+    pub fn elapsed(&self) -> SimTime {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The results of one object-I/O call.
+#[derive(Debug, Clone)]
+pub struct CcOutcome {
+    /// This rank's own-subset result. Present on every rank under
+    /// all-to-all reduce (and in independent/blocking modes); under
+    /// all-to-one it is only known at the root.
+    pub my_result: Option<Vec<f64>>,
+    /// The global reduction — present at the reduce root only.
+    pub global: Option<Vec<f64>>,
+    /// Per-rank results, indexed by rank — present at the all-to-one root
+    /// (where every process's partials were constructed).
+    pub per_rank: Option<Vec<Option<Vec<f64>>>>,
+    /// The raw (pre-finalize) global partial — present wherever `global`
+    /// is. Iterative sweeps fold these; finalized outputs of kernels like
+    /// `mean` cannot be folded.
+    pub global_partial: Option<Partial>,
+    /// This rank's phase observations.
+    pub report: CcReport,
+}
+
+/// The paper's `ncmpi_object_get_vara` (Fig. 6, line 11): performs the
+/// object I/O described by `io`, running `kernel` inside the collective.
+/// Must be called by all ranks.
+pub fn object_get_vara(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    io: &ObjectIo,
+    kernel: &dyn MapKernel,
+) -> CcOutcome {
+    let slab = Hyperslab::new(io.start.clone(), io.count.clone());
+    if io.blocking {
+        // io.block = true: "essentially identical to the traditional
+        // MPI-IO code" (paper §III-A).
+        return run_blocking(comm, pfs, file, var, &slab, io, kernel);
+    }
+    match io.mode {
+        IoMode::Independent => run_independent(comm, pfs, file, var, &slab, io, kernel),
+        IoMode::Collective => run_collective_computing(comm, pfs, file, var, &slab, io, kernel),
+    }
+}
+
+/// Blocking escape hatch: delegate to the traditional baseline and adapt.
+fn run_blocking(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    slab: &Hyperslab,
+    io: &ObjectIo,
+    kernel: &dyn MapKernel,
+) -> CcOutcome {
+    let root = io.reduce.root();
+    let (global, mine, rep) =
+        traditional_get_vara_partial(comm, pfs, file, var, slab, &io.hints, kernel, root);
+    CcOutcome {
+        my_result: Some(kernel.finalize(&mine)),
+        global: global.as_ref().map(|p| kernel.finalize(p)),
+        global_partial: global,
+        per_rank: None,
+        report: CcReport {
+            start: rep.start,
+            end: rep.end,
+            bytes_read: rep.two_phase.bytes_read,
+            local_reduction: rep.reduce_elapsed,
+            segments: rep.segments,
+            ..CcReport::default()
+        },
+    }
+}
+
+/// Independent mode: every rank reads and maps its own request, then the
+/// partials ride a plain reduce.
+fn run_independent(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    slab: &Hyperslab,
+    io: &ObjectIo,
+    kernel: &dyn MapKernel,
+) -> CcOutcome {
+    let mut report = CcReport {
+        start: comm.clock(),
+        ..CcReport::default()
+    };
+    let request = var.byte_extents(slab);
+    let (bytes, io_rep) = independent_read(comm, pfs, file, &request);
+    report.bytes_read = io_rep.bytes_read;
+    report
+        .segments
+        .push(Segment::new(report.start, comm.clock(), Activity::Wait));
+    let values = var.dtype().decode(&bytes);
+    let compute_start = comm.clock();
+    let partial = map_buffer(var, slab, kernel, &values);
+    comm.advance(comm.model().cpu.map_time(bytes.len()));
+    report
+        .segments
+        .push(Segment::new(compute_start, comm.clock(), Activity::User));
+    let global = final_reduce(comm, kernel, &partial, io.reduce.root());
+    report.end = comm.clock();
+    CcOutcome {
+        my_result: Some(kernel.finalize(&partial)),
+        global: global.as_ref().map(|p| kernel.finalize(p)),
+        global_partial: global,
+        per_rank: None,
+        report,
+    }
+}
+
+/// The collective-computing path proper.
+fn run_collective_computing(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    slab: &Hyperslab,
+    io: &ObjectIo,
+    kernel: &dyn MapKernel,
+) -> CcOutcome {
+    let mut report = CcReport {
+        start: comm.clock(),
+        ..CcReport::default()
+    };
+    let esize = var.dtype().size();
+    // Element-aligned planning: chunk and domain boundaries must never
+    // split an element, or the logical map could not reconstruct it.
+    let mut hints = io.hints.clone();
+    hints.cb_buffer_size = round_up(hints.cb_buffer_size.max(esize), esize);
+    hints.align_domains_to = Some(match hints.align_domains_to {
+        Some(a) => lcm(a.max(1), esize),
+        None => esize,
+    });
+
+    let request = var.byte_extents(slab);
+    let requests = exchange_requests(comm, &request);
+    let topology = comm.model().topology.clone();
+    let plan = CollectivePlan::build(requests, &topology, comm.nprocs(), &hints);
+
+    // --- Phase 1 + map: the aggregator pipeline (paper Fig. 7). ---------
+    let mut inter = IntermediateSet::new();
+    let mut agg_done = comm.clock();
+    if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
+        agg_done = run_map_pipeline(
+            comm,
+            pfs,
+            file,
+            var,
+            &plan,
+            agg_idx,
+            &hints,
+            kernel,
+            &mut inter,
+            &mut report,
+        );
+    }
+    report.metadata_entries = inter.metadata_entries;
+    report.metadata_bytes = inter.metadata_bytes;
+
+    // --- Phase 2: shuffle of intermediate results + reduce. -------------
+    let outcome = match io.reduce {
+        ReduceMode::AllToOne { root } => {
+            reduce_all_to_one(comm, kernel, &plan, &inter, agg_done, root, &mut report)
+        }
+        ReduceMode::AllToAll { root } => {
+            reduce_all_to_all(comm, kernel, &plan, &inter, agg_done, root, &mut report)
+        }
+    };
+    report.end = comm.clock();
+    CcOutcome {
+        my_result: outcome.0,
+        global: outcome.2.as_ref().map(|p| kernel.finalize(p)),
+        global_partial: outcome.2,
+        per_rank: outcome.1,
+        report,
+    }
+}
+
+/// What the reduce phases hand back: `(my_result, per_rank,
+/// global_partial)`.
+type ReduceOutcome = (
+    Option<Vec<f64>>,
+    Option<Vec<Option<Vec<f64>>>>,
+    Option<Partial>,
+);
+
+/// Runs one aggregator's read→construct→map pipeline over its file domain.
+/// Returns the time the last map completed.
+#[allow(clippy::too_many_arguments)]
+fn run_map_pipeline(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    plan: &CollectivePlan,
+    agg_idx: usize,
+    hints: &Hints,
+    kernel: &dyn MapKernel,
+    inter: &mut IntermediateSet,
+    report: &mut CcReport,
+) -> SimTime {
+    let cpu = comm.model().cpu.clone();
+    let esize = var.dtype().size() as usize;
+    // The map soaks up the node's idle cores (see crate docs): each
+    // aggregator can draw on cores_per_node / aggregators_per_node workers.
+    let workers =
+        (comm.model().topology.cores_per_node / hints.aggregators_per_node).max(1) as f64;
+    let start = comm.clock();
+    // The I/O lane models the paper's I/O thread; the map lane models the
+    // node-parallel map workers (Fig. 7). Reads are gated only by the I/O
+    // lane — the runtime is assumed to have enough staging buffers to keep
+    // the disk streaming, which also keeps every rank's file-system
+    // requests causally close in virtual time (the OST queues are shared
+    // state; see cc-pfs::ost).
+    let mut io_lane = Lane::free_from(start);
+    let mut map_lane = Lane::free_from(start);
+    let single_lane = !hints.nonblocking;
+    let mut last = start;
+
+    for iter in plan.active_iterations(agg_idx) {
+        let Some((rlo, rhi)) = plan.read_range(agg_idx, iter) else {
+            continue;
+        };
+        let ready = io_lane.free_at();
+        let (chunk, read_done) = pfs.read_at(file, rlo, rhi - rlo, ready);
+        io_lane.advance_to(read_done);
+        report.bytes_read += rhi - rlo;
+        report
+            .segments
+            .push(Segment::new(ready, read_done, Activity::Wait));
+
+        // Construct logical runs and map them, per destination owner.
+        let (clo, chi) = plan.chunk(agg_idx, iter);
+        let mut mapped_bytes = 0usize;
+        let mut entries = 0u64;
+        let mut meta_bytes = 0u64;
+        for dst in plan.destinations(agg_idx, iter) {
+            let runs = construct_runs(var, &plan.requests[dst], clo, chi);
+            let acc = inter.partial_mut(dst, kernel);
+            for run in &runs {
+                let off = (var.byte_of_elem(run.start_elem) - rlo) as usize;
+                let len = run.len as usize * esize;
+                let values = var.dtype().decode(&chunk[off..off + len]);
+                kernel.map(acc, run.start_elem, &values);
+                mapped_bytes += len;
+                entries += 1;
+                meta_bytes += run.metadata_bytes(var);
+            }
+        }
+        inter.note_metadata(entries, meta_bytes);
+
+        let construct_cost = cpu.metadata_time(entries as usize);
+        let map_cost = cpu.map_time(mapped_bytes).scale(1.0 / workers) + construct_cost;
+        report.local_reduction += construct_cost;
+        let map_ready = if single_lane {
+            map_lane.advance_to(read_done);
+            read_done
+        } else {
+            read_done
+        };
+        let map_start = map_ready.max(map_lane.free_at());
+        let map_done = map_lane.acquire(map_ready, map_cost);
+        if single_lane {
+            io_lane.advance_to(map_done);
+        }
+        report
+            .segments
+            .push(Segment::new(map_start, map_done, Activity::User));
+        report.iterations.push(CcIterTiming {
+            read: read_done.saturating_since(ready),
+            map: map_cost,
+        });
+        last = last.max(map_done);
+    }
+    last
+}
+
+/// All-to-one reduce: every active aggregator ships its whole intermediate
+/// set to `root`; the root constructs per-owner results and reduces them.
+fn reduce_all_to_one(
+    comm: &mut Comm,
+    kernel: &dyn MapKernel,
+    plan: &CollectivePlan,
+    inter: &IntermediateSet,
+    agg_done: SimTime,
+    root: usize,
+    report: &mut CcReport,
+) -> ReduceOutcome {
+    let cpu = comm.model().cpu.clone();
+    let active: Vec<usize> = (0..plan.aggregators.len())
+        .filter(|&a| !plan.active_iterations(a).is_empty())
+        .map(|a| plan.aggregators[a])
+        .collect();
+
+    // Sender side (aggregators).
+    let mut done = agg_done;
+    if active.contains(&comm.rank()) && comm.rank() != root {
+        let words = inter.encode_all();
+        report.result_words_shuffled += words.len() as u64;
+        let depart = agg_done + cpu.memcpy_time(words.len() * 8) + comm.model().net.send_cost();
+        let bytes = cc_mpi::elem::encode_slice(&words);
+        comm.post_bytes_at(root, TAG_RESULTS, bytes, depart);
+        done = done.max(depart);
+    }
+
+    // Root side: construct and reduce.
+    if comm.rank() == root {
+        let mut per_owner: Vec<Option<Partial>> = vec![None; comm.nprocs()];
+        let mut absorb = |pairs: Vec<(usize, Partial)>, inter_set: &mut u64| {
+            for (owner, p) in pairs {
+                *inter_set += 1;
+                match &mut per_owner[owner] {
+                    Some(acc) => kernel.combine(acc, &p),
+                    slot => *slot = Some(p),
+                }
+            }
+        };
+        let mut combines = 0u64;
+        absorb(
+            IntermediateSet::decode(&inter.encode_all()),
+            &mut combines,
+        );
+        for &agg in &active {
+            if agg == root {
+                continue;
+            }
+            let (bytes, info) = comm.recv_bytes_no_clock(agg, TAG_RESULTS);
+            let words: Vec<u64> = cc_mpi::elem::decode_vec(&bytes);
+            absorb(IntermediateSet::decode(&words), &mut combines);
+            done = done.max(info.arrival);
+        }
+        let reduce_start = done;
+        let mut global = kernel.identity();
+        let mut any = false;
+        for p in per_owner.iter().flatten() {
+            kernel.combine(&mut global, p);
+            any = true;
+        }
+        let reduce_cost = cpu.reduce_time(combines as usize + comm.nprocs());
+        done += reduce_cost;
+        report.local_reduction += reduce_cost;
+        report
+            .segments
+            .push(Segment::new(reduce_start, done, Activity::User));
+        comm.advance_to(done);
+        let per_rank: Vec<Option<Vec<f64>>> = per_owner
+            .iter()
+            .map(|p| p.as_ref().map(|p| kernel.finalize(p)))
+            .collect();
+        let my = per_rank[root].clone();
+        return (my, Some(per_rank), any.then_some(global));
+    }
+
+    comm.advance_to(done);
+    (None, None, None)
+}
+
+/// All-to-all reduce: each aggregator ships each owner its partial; owners
+/// reduce locally, then a tree reduce produces the global result at `root`.
+fn reduce_all_to_all(
+    comm: &mut Comm,
+    kernel: &dyn MapKernel,
+    plan: &CollectivePlan,
+    inter: &IntermediateSet,
+    agg_done: SimTime,
+    root: usize,
+    report: &mut CcReport,
+) -> ReduceOutcome {
+    let cpu = comm.model().cpu.clone();
+
+    // Sender side: one small message per owner with data in my domain.
+    let mut shuffle_lane = Lane::free_from(agg_done);
+    for owner in inter.owners() {
+        if owner == comm.rank() {
+            continue;
+        }
+        let words = inter.encode_owner(owner);
+        report.result_words_shuffled += words.len() as u64;
+        let same_node = comm.model().topology.same_node(comm.rank(), owner);
+        let cost = cpu.memcpy_time(words.len() * 8)
+            + comm.model().net.send_cost()
+            + comm.model().net.wire_time(words.len() * 8, same_node);
+        let depart = shuffle_lane.acquire(agg_done, cost);
+        comm.post_bytes_at(owner, TAG_RESULTS, cc_mpi::elem::encode_slice(&words), depart);
+    }
+    let mut done = agg_done.max(shuffle_lane.free_at());
+
+    // Receiver side: my partials come from every aggregator whose domain
+    // holds any of my bytes.
+    let mut mine = kernel.identity();
+    if let Some(p) = inter.get(comm.rank()) {
+        kernel.combine(&mut mine, p);
+    }
+    let my_senders: Vec<usize> = (0..plan.aggregators.len())
+        .filter(|&a| {
+            let (lo, hi) = plan.domains[a];
+            plan.aggregators[a] != comm.rank()
+                && plan.requests[comm.rank()].bytes_in(lo, hi) > 0
+        })
+        .map(|a| plan.aggregators[a])
+        .collect();
+    let mut combines = 0usize;
+    for src in my_senders {
+        let (bytes, info) = comm.recv_bytes_no_clock(src, TAG_RESULTS);
+        let words: Vec<u64> = cc_mpi::elem::decode_vec(&bytes);
+        for (owner, p) in IntermediateSet::decode(&words) {
+            assert_eq!(owner, comm.rank(), "misrouted intermediate result");
+            kernel.combine(&mut mine, &p);
+            combines += 1;
+        }
+        done = done.max(info.arrival);
+    }
+    let local_cost = cpu.reduce_time(combines);
+    done += local_cost;
+    report.local_reduction += local_cost;
+    comm.advance_to(done);
+
+    // Final global reduce over the per-rank results.
+    let global = final_reduce(comm, kernel, &mine, root);
+    (Some(kernel.finalize(&mine)), None, global)
+}
+
+/// Tree-reduces `partial` to `root`; returns the global partial at the
+/// root, `None` elsewhere.
+fn final_reduce(
+    comm: &mut Comm,
+    kernel: &dyn MapKernel,
+    partial: &Partial,
+    root: usize,
+) -> Option<Partial> {
+    comm.reduce(root, &partial.to_words(), &PartialReduceOp(kernel))
+        .map(|words| Partial::from_words(&words).0)
+}
+
+/// Rounds `v` up to the next multiple of `m`.
+fn round_up(v: u64, m: u64) -> u64 {
+    v.div_ceil(m) * m
+}
+
+/// Least common multiple.
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_helpers() {
+        assert_eq!(round_up(7, 4), 8);
+        assert_eq!(round_up(8, 4), 8);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(8, 8), 8);
+        assert_eq!(gcd(12, 18), 6);
+    }
+}

@@ -1,0 +1,516 @@
+//! Map kernels: the user computation carried by object I/O.
+//!
+//! A kernel folds runs of decoded values into a small [`Partial`]
+//! accumulator, combines partials associatively, and finalizes to the
+//! user-visible result. The same kernel drives both the collective-
+//! computing engine (mapping mid-collective at aggregators) and the
+//! traditional baseline (mapping after the read), so comparisons are
+//! apples-to-apples. Kernels receive the linear element index of each run's
+//! first value, so positional analyses (the WRF "where is the pressure
+//! minimum" task) work even though the data arrives as anonymous runs.
+
+use cc_mpi::ops::ReduceOp;
+
+/// A small, fixed-shape accumulator: a handful of values plus an element
+/// count. All partials of one kernel have the same `values` length, which
+/// is what lets them ride `MPI_Reduce`-style collectives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial {
+    /// Kernel-defined slots (a sum, a min and its location, ...).
+    pub values: Vec<f64>,
+    /// Elements folded into this partial.
+    pub count: u64,
+}
+
+impl Partial {
+    /// A partial with the given slots and zero count.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values, count: 0 }
+    }
+
+    /// Serializes to words (bit-exact) for the wire: `[count, n, bits...]`.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.values.len() + 2);
+        out.push(self.count);
+        out.push(self.values.len() as u64);
+        out.extend(self.values.iter().map(|v| v.to_bits()));
+        out
+    }
+
+    /// Deserializes [`to_words`](Self::to_words) output; returns the partial
+    /// and the words consumed.
+    ///
+    /// # Panics
+    /// Panics on a truncated buffer.
+    pub fn from_words(words: &[u64]) -> (Self, usize) {
+        assert!(words.len() >= 2, "truncated partial");
+        let count = words[0];
+        let n = words[1] as usize;
+        assert!(words.len() >= 2 + n, "truncated partial values");
+        let values = words[2..2 + n].iter().map(|&b| f64::from_bits(b)).collect();
+        (Self { values, count }, 2 + n)
+    }
+}
+
+/// A user computation pushed into the collective (the paper's object-I/O
+/// operator, `MPI_Op_create` analogue).
+///
+/// `combine` must be associative and commutative so partials can be reduced
+/// in any tree order.
+pub trait MapKernel: Send + Sync {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The identity accumulator.
+    fn identity(&self) -> Partial;
+
+    /// Folds a run of values into `acc`. `start_elem` is the linear element
+    /// index (in the variable) of `values[0]`; consecutive values are
+    /// consecutive elements.
+    fn map(&self, acc: &mut Partial, start_elem: u64, values: &[f64]);
+
+    /// Merges `other` into `acc`.
+    fn combine(&self, acc: &mut Partial, other: &Partial);
+
+    /// Produces the user-visible result.
+    fn finalize(&self, acc: &Partial) -> Vec<f64>;
+}
+
+/// Sum of all elements.
+pub struct SumKernel;
+
+impl MapKernel for SumKernel {
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![0.0])
+    }
+
+    fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        acc.values[0] += values.iter().sum::<f64>();
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        acc.values[0] += other.values[0];
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        vec![acc.values[0]]
+    }
+}
+
+/// Minimum element value.
+pub struct MinKernel;
+
+impl MapKernel for MinKernel {
+    fn name(&self) -> &'static str {
+        "min"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![f64::INFINITY])
+    }
+
+    fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        for &v in values {
+            if v < acc.values[0] {
+                acc.values[0] = v;
+            }
+        }
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        if other.values[0] < acc.values[0] {
+            acc.values[0] = other.values[0];
+        }
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        vec![acc.values[0]]
+    }
+}
+
+/// Maximum element value.
+pub struct MaxKernel;
+
+impl MapKernel for MaxKernel {
+    fn name(&self) -> &'static str {
+        "max"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![f64::NEG_INFINITY])
+    }
+
+    fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        for &v in values {
+            if v > acc.values[0] {
+                acc.values[0] = v;
+            }
+        }
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        if other.values[0] > acc.values[0] {
+            acc.values[0] = other.values[0];
+        }
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        vec![acc.values[0]]
+    }
+}
+
+/// Arithmetic mean (sum and count travel; division happens at finalize).
+pub struct MeanKernel;
+
+impl MapKernel for MeanKernel {
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![0.0])
+    }
+
+    fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        acc.values[0] += values.iter().sum::<f64>();
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        acc.values[0] += other.values[0];
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        if acc.count == 0 {
+            vec![f64::NAN]
+        } else {
+            vec![acc.values[0] / acc.count as f64]
+        }
+    }
+}
+
+/// Element count (useful for coverage checks and selectivity studies).
+pub struct CountKernel;
+
+impl MapKernel for CountKernel {
+    fn name(&self) -> &'static str {
+        "count"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![])
+    }
+
+    fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        vec![acc.count as f64]
+    }
+}
+
+/// Minimum value and the linear element index where it occurs — the WRF
+/// "min sea-level pressure (and where)" task. Ties resolve to the lowest
+/// index, which keeps the kernel associative-commutative and deterministic.
+pub struct MinLocKernel;
+
+impl MapKernel for MinLocKernel {
+    fn name(&self) -> &'static str {
+        "minloc"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![f64::INFINITY, -1.0])
+    }
+
+    fn map(&self, acc: &mut Partial, start_elem: u64, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            let idx = (start_elem + i as u64) as f64;
+            if v < acc.values[0] || (v == acc.values[0] && idx < acc.values[1]) {
+                acc.values[0] = v;
+                acc.values[1] = idx;
+            }
+        }
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        let better = other.values[0] < acc.values[0]
+            || (other.values[0] == acc.values[0]
+                && other.values[1] >= 0.0
+                && (acc.values[1] < 0.0 || other.values[1] < acc.values[1]));
+        if better {
+            acc.values[0] = other.values[0];
+            acc.values[1] = other.values[1];
+        }
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        vec![acc.values[0], acc.values[1]]
+    }
+}
+
+/// Maximum value and its linear element index — the WRF "max 10 m wind
+/// speed" task.
+pub struct MaxLocKernel;
+
+impl MapKernel for MaxLocKernel {
+    fn name(&self) -> &'static str {
+        "maxloc"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![f64::NEG_INFINITY, -1.0])
+    }
+
+    fn map(&self, acc: &mut Partial, start_elem: u64, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            let idx = (start_elem + i as u64) as f64;
+            if v > acc.values[0] || (v == acc.values[0] && idx < acc.values[1]) {
+                acc.values[0] = v;
+                acc.values[1] = idx;
+            }
+        }
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        let better = other.values[0] > acc.values[0]
+            || (other.values[0] == acc.values[0]
+                && other.values[1] >= 0.0
+                && (acc.values[1] < 0.0 || other.values[1] < acc.values[1]));
+        if better {
+            acc.values[0] = other.values[0];
+            acc.values[1] = other.values[1];
+        }
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        vec![acc.values[0], acc.values[1]]
+    }
+}
+
+/// Sum and sum of squares (first two moments; variance at finalize).
+pub struct SumSqKernel;
+
+impl MapKernel for SumSqKernel {
+    fn name(&self) -> &'static str {
+        "sumsq"
+    }
+
+    fn identity(&self) -> Partial {
+        Partial::new(vec![0.0, 0.0])
+    }
+
+    fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        for &v in values {
+            acc.values[0] += v;
+            acc.values[1] += v * v;
+        }
+        acc.count += values.len() as u64;
+    }
+
+    fn combine(&self, acc: &mut Partial, other: &Partial) {
+        acc.values[0] += other.values[0];
+        acc.values[1] += other.values[1];
+        acc.count += other.count;
+    }
+
+    fn finalize(&self, acc: &Partial) -> Vec<f64> {
+        // [mean, variance]
+        if acc.count == 0 {
+            return vec![f64::NAN, f64::NAN];
+        }
+        let n = acc.count as f64;
+        let mean = acc.values[0] / n;
+        vec![mean, acc.values[1] / n - mean * mean]
+    }
+}
+
+/// Adapter letting word-encoded partials ride the MPI reduce collectives:
+/// the traditional baseline's `MPI_Reduce` with a user op (Fig. 5, line 8).
+pub struct PartialReduceOp<'a>(pub &'a dyn MapKernel);
+
+impl ReduceOp<u64> for PartialReduceOp<'_> {
+    fn combine(&self, acc: &mut [u64], incoming: &[u64]) {
+        let (mut a, used_a) = Partial::from_words(acc);
+        let (b, used_b) = Partial::from_words(incoming);
+        assert_eq!(used_a, acc.len(), "partial word length mismatch");
+        assert_eq!(used_b, incoming.len(), "partial word length mismatch");
+        self.0.combine(&mut a, &b);
+        acc.copy_from_slice(&a.to_words());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fold(kernel: &dyn MapKernel, values: &[f64]) -> Vec<f64> {
+        let mut acc = kernel.identity();
+        kernel.map(&mut acc, 0, values);
+        kernel.finalize(&acc)
+    }
+
+    #[test]
+    fn sum_min_max_mean_count() {
+        let v = [3.0, -1.0, 4.0, 1.5];
+        assert_eq!(fold(&SumKernel, &v), vec![7.5]);
+        assert_eq!(fold(&MinKernel, &v), vec![-1.0]);
+        assert_eq!(fold(&MaxKernel, &v), vec![4.0]);
+        assert_eq!(fold(&MeanKernel, &v), vec![7.5 / 4.0]);
+        assert_eq!(fold(&CountKernel, &v), vec![4.0]);
+    }
+
+    #[test]
+    fn minloc_tracks_position() {
+        let mut acc = MinLocKernel.identity();
+        MinLocKernel.map(&mut acc, 100, &[5.0, 2.0, 7.0]);
+        MinLocKernel.map(&mut acc, 500, &[2.0, 9.0]);
+        // 2.0 occurs at elems 101 and 500; ties take the lower index.
+        assert_eq!(MinLocKernel.finalize(&acc), vec![2.0, 101.0]);
+    }
+
+    #[test]
+    fn maxloc_tracks_position() {
+        let mut acc = MaxLocKernel.identity();
+        MaxLocKernel.map(&mut acc, 10, &[5.0, 8.0]);
+        MaxLocKernel.map(&mut acc, 0, &[8.0]);
+        assert_eq!(MaxLocKernel.finalize(&acc), vec![8.0, 0.0]);
+    }
+
+    #[test]
+    fn sumsq_gives_mean_and_variance() {
+        let out = fold(&SumSqKernel, &[1.0, 3.0]);
+        assert_eq!(out[0], 2.0);
+        assert_eq!(out[1], 1.0);
+    }
+
+    #[test]
+    fn mean_of_nothing_is_nan() {
+        let k = MeanKernel;
+        let out = k.finalize(&k.identity());
+        assert!(out[0].is_nan());
+    }
+
+    #[test]
+    fn partial_word_roundtrip() {
+        let p = Partial {
+            values: vec![1.5, -0.0, f64::INFINITY],
+            count: 42,
+        };
+        let (q, used) = Partial::from_words(&p.to_words());
+        assert_eq!(used, 5);
+        assert_eq!(q.count, 42);
+        assert_eq!(q.values[0], 1.5);
+        assert!(q.values[1] == 0.0 && q.values[1].is_sign_negative());
+        assert_eq!(q.values[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn partial_reduce_op_combines_through_words() {
+        let k = SumKernel;
+        let mut a = Partial::new(vec![10.0]);
+        a.count = 2;
+        let mut b = Partial::new(vec![5.0]);
+        b.count = 3;
+        let mut words = a.to_words();
+        PartialReduceOp(&k).combine(&mut words, &b.to_words());
+        let (c, _) = Partial::from_words(&words);
+        assert_eq!(c.values[0], 15.0);
+        assert_eq!(c.count, 5);
+    }
+
+    /// All kernels under one roof for generic law tests.
+    fn all_kernels() -> Vec<Box<dyn MapKernel>> {
+        vec![
+            Box::new(SumKernel),
+            Box::new(MinKernel),
+            Box::new(MaxKernel),
+            Box::new(MeanKernel),
+            Box::new(CountKernel),
+            Box::new(MinLocKernel),
+            Box::new(MaxLocKernel),
+            Box::new(SumSqKernel),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_map_equals_whole_map(
+            values in proptest::collection::vec(-100.0f64..100.0, 1..40),
+            split in 0usize..40,
+        ) {
+            // Mapping a run in one piece or two must agree (up to fp
+            // rounding in sums; exact for order stable folds like these).
+            let split = split.min(values.len());
+            for k in all_kernels() {
+                let mut whole = k.identity();
+                k.map(&mut whole, 7, &values);
+                let mut parts = k.identity();
+                k.map(&mut parts, 7, &values[..split]);
+                k.map(&mut parts, 7 + split as u64, &values[split..]);
+                prop_assert_eq!(whole.count, parts.count, "kernel {}", k.name());
+                for (a, b) in whole.values.iter().zip(&parts.values) {
+                    prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "kernel {}: {a} vs {b}", k.name());
+                }
+            }
+        }
+
+        #[test]
+        fn prop_combine_is_commutative(
+            v1 in proptest::collection::vec(-50.0f64..50.0, 1..20),
+            v2 in proptest::collection::vec(-50.0f64..50.0, 1..20),
+        ) {
+            for k in all_kernels() {
+                let mut a = k.identity();
+                k.map(&mut a, 0, &v1);
+                let mut b = k.identity();
+                k.map(&mut b, 1000, &v2);
+                let mut ab = a.clone();
+                k.combine(&mut ab, &b);
+                let mut ba = b.clone();
+                k.combine(&mut ba, &a);
+                prop_assert_eq!(ab.count, ba.count);
+                for (x, y) in ab.values.iter().zip(&ba.values) {
+                    prop_assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                        "kernel {} not commutative: {x} vs {y}", k.name());
+                }
+            }
+        }
+
+        #[test]
+        fn prop_identity_is_neutral(
+            values in proptest::collection::vec(-50.0f64..50.0, 1..20),
+        ) {
+            for k in all_kernels() {
+                let mut a = k.identity();
+                k.map(&mut a, 3, &values);
+                let mut with_id = a.clone();
+                k.combine(&mut with_id, &k.identity());
+                prop_assert_eq!(&with_id.count, &a.count);
+                prop_assert_eq!(&with_id.values, &a.values, "kernel {}", k.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Computation cost model.
+//!
+//! The paper's central experiment (Fig. 9) sweeps the computation-to-I/O
+//! ratio, which in this reproduction is a direct function of
+//! `map_cost_per_byte` relative to the disk model. The other parameters
+//! price the bookkeeping that collective computing adds: combining
+//! intermediate results and maintaining their logical metadata (Figs. 11-12).
+
+use crate::time::SimTime;
+
+/// CPU cost parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Cost of applying the user map kernel to one byte of raw data
+    /// (seconds/byte). Benchmarks sweep this to set the computation:I/O
+    /// ratio.
+    pub map_cost_per_byte: f64,
+    /// Cost of combining one element of intermediate/partial results
+    /// (seconds/element).
+    pub reduce_cost_per_element: f64,
+    /// Cost of staging one byte through a memory copy, e.g. packing shuffle
+    /// buffers (seconds/byte).
+    pub memcpy_cost_per_byte: f64,
+    /// Cost of creating/indexing one intermediate-result metadata entry
+    /// (seconds/entry).
+    pub metadata_cost_per_entry: f64,
+}
+
+impl CpuModel {
+    /// Parameters loosely matching a 2.1 GHz AMD MagnyCours core: a simple
+    /// streaming kernel (sum/min/max) sustains a few GB/s per core.
+    pub fn magny_cours_like() -> Self {
+        Self {
+            map_cost_per_byte: 2.5e-10, // ~4 GB/s streaming kernel
+            reduce_cost_per_element: 5e-9,
+            memcpy_cost_per_byte: 1.5e-10, // ~6.6 GB/s copy
+            metadata_cost_per_entry: 2e-7,
+        }
+    }
+
+    /// Time to map-compute over `bytes` of raw data.
+    pub fn map_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs(self.map_cost_per_byte * bytes as f64)
+    }
+
+    /// Time to combine `elements` partial-result elements.
+    pub fn reduce_time(&self, elements: usize) -> SimTime {
+        SimTime::from_secs(self.reduce_cost_per_element * elements as f64)
+    }
+
+    /// Time to memcpy `bytes`.
+    pub fn memcpy_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs(self.memcpy_cost_per_byte * bytes as f64)
+    }
+
+    /// Time to create `entries` metadata records.
+    pub fn metadata_time(&self, entries: usize) -> SimTime {
+        SimTime::from_secs(self.metadata_cost_per_entry * entries as f64)
+    }
+
+    /// Returns a copy whose `map_cost_per_byte` is scaled so that mapping a
+    /// byte costs `ratio` times reading a byte at `read_bw` bytes/s. This is
+    /// how benchmarks express the paper's "computation vs I/O" ratio knob.
+    pub fn with_compute_io_ratio(&self, ratio: f64, read_bw: f64) -> Self {
+        assert!(ratio > 0.0 && read_bw > 0.0);
+        Self {
+            map_cost_per_byte: ratio / read_bw,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_time_is_linear() {
+        let c = CpuModel::magny_cours_like();
+        let t1 = c.map_time(1 << 20).secs();
+        let t2 = c.map_time(1 << 21).secs();
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_knob_sets_relative_cost() {
+        let c = CpuModel::magny_cours_like();
+        let bw = 100e6; // bytes/s
+        // ratio 2:1 -> computing N bytes costs twice reading N bytes.
+        let c2 = c.with_compute_io_ratio(2.0, bw);
+        let n = 50_000_000usize;
+        let compute = c2.map_time(n).secs();
+        let read = n as f64 / bw;
+        assert!((compute / read - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let c = CpuModel::magny_cours_like();
+        assert_eq!(c.map_time(0), SimTime::ZERO);
+        assert_eq!(c.reduce_time(0), SimTime::ZERO);
+        assert_eq!(c.memcpy_time(0), SimTime::ZERO);
+        assert_eq!(c.metadata_time(0), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,68 @@
+//! Parallel-file-system disk cost model.
+//!
+//! Each OST (object storage target) is modeled as a single server with a
+//! fixed per-request positioning cost ("seek") and a streaming bandwidth.
+//! Requests queue: an OST serves one extent at a time, so concurrent
+//! requests from several aggregators serialize on a shared OST — which is
+//! exactly the contention that makes non-contiguous independent I/O slow
+//! and aggregated collective I/O fast.
+
+use crate::time::SimTime;
+
+/// Per-OST disk parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskModel {
+    /// Positioning cost charged per request on an OST (seconds).
+    pub seek: f64,
+    /// Streaming bandwidth of one OST (bytes/second).
+    pub ost_bandwidth: f64,
+}
+
+impl DiskModel {
+    /// Parameters loosely matching the paper's Lustre system: 156 OSTs with
+    /// a 35 GB/s aggregate peak gives ~225 MB/s per OST; positioning cost a
+    /// few milliseconds (spinning disks behind each OST in 2014).
+    pub fn lustre_like() -> Self {
+        Self {
+            seek: 2e-3,
+            ost_bandwidth: 225e6,
+        }
+    }
+
+    /// Service time for one extent of `bytes` on one OST, excluding queueing.
+    pub fn service_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs(self.seek + bytes as f64 / self.ost_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seek_dominates_small_requests() {
+        let d = DiskModel::lustre_like();
+        // A 4 KB request is almost pure seek.
+        let t = d.service_time(4096).secs();
+        assert!(t < d.seek * 1.01);
+        assert!(t >= d.seek);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_requests() {
+        let d = DiskModel::lustre_like();
+        let t = d.service_time(225_000_000).secs(); // ~1 second of streaming
+        assert!(t > 1.0 && t < 1.01);
+    }
+
+    #[test]
+    fn service_time_is_monotonic_in_size() {
+        let d = DiskModel::lustre_like();
+        let mut prev = SimTime::ZERO;
+        for sz in [0usize, 1, 1024, 1 << 20, 1 << 26] {
+            let t = d.service_time(sz);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Cost models and virtual time for the collective-computing simulator.
+//!
+//! Every subsystem in this workspace moves *real bytes* between real OS
+//! threads, but charges *virtual time* according to the models defined here.
+//! This mirrors how the ICPP'15 "Collective Computing" paper reasons about
+//! performance: phase durations are functions of bytes moved, messages sent,
+//! seeks performed, and bytes computed — not of the host machine's clock.
+//!
+//! The crate is dependency-free and purely computational, which keeps the
+//! models easy to property-test.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod disk;
+pub mod net;
+pub mod pipeline;
+pub mod time;
+pub mod topology;
+
+pub use cpu::CpuModel;
+pub use disk::DiskModel;
+pub use net::NetModel;
+pub use pipeline::{BufferRing, Lane};
+pub use time::SimTime;
+pub use topology::Topology;
+
+/// The complete cost model for a simulated cluster: topology plus network,
+/// disk, and CPU parameters. One `ClusterModel` is shared (immutably) by all
+/// rank threads of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterModel {
+    /// Node/core layout and rank placement.
+    pub topology: Topology,
+    /// Interconnect cost parameters.
+    pub net: NetModel,
+    /// Parallel-file-system disk parameters.
+    pub disk: DiskModel,
+    /// Computation cost parameters.
+    pub cpu: CpuModel,
+}
+
+impl ClusterModel {
+    /// A model loosely calibrated to the paper's testbed (NERSC Hopper:
+    /// Cray XE6, Gemini interconnect, Lustre with 35 GB/s peak over 156
+    /// OSTs). Absolute values are representative, not measured; the
+    /// benchmarks only rely on the *ratios* between phases.
+    pub fn hopper_like(nodes: usize, cores_per_node: usize) -> Self {
+        Self {
+            topology: Topology::new(nodes, cores_per_node),
+            net: NetModel::gemini_like(),
+            disk: DiskModel::lustre_like(),
+            cpu: CpuModel::magny_cours_like(),
+        }
+    }
+
+    /// A tiny, fast model for unit tests: single node, negligible latency,
+    /// round numbers that make hand-computed expectations easy.
+    pub fn test_tiny(cores: usize) -> Self {
+        Self {
+            topology: Topology::new(1, cores),
+            net: NetModel {
+                latency_intra: 1e-6,
+                latency_inter: 1e-5,
+                bw_intra: 1e9,
+                bw_inter: 1e9,
+                send_overhead: 1e-7,
+                scatter_overhead: 1e-7,
+            },
+            disk: DiskModel {
+                seek: 1e-4,
+                ost_bandwidth: 1e8,
+            },
+            cpu: CpuModel {
+                map_cost_per_byte: 1e-9,
+                reduce_cost_per_element: 1e-9,
+                memcpy_cost_per_byte: 1e-10,
+                metadata_cost_per_entry: 1e-7,
+            },
+        }
+    }
+
+    /// Number of ranks this model can host (one per core).
+    pub fn capacity(&self) -> usize {
+        self.topology.nodes * self.topology.cores_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hopper_like_capacity() {
+        let m = ClusterModel::hopper_like(5, 24);
+        assert_eq!(m.capacity(), 120);
+    }
+
+    #[test]
+    fn test_tiny_is_single_node() {
+        let m = ClusterModel::test_tiny(8);
+        assert_eq!(m.topology.nodes, 1);
+        assert!(m.topology.same_node(0, 7));
+    }
+}

@@ -1,0 +1,128 @@
+//! Cluster topology: nodes, cores, and rank placement.
+//!
+//! Ranks are placed block-wise onto nodes (ranks `0..cores_per_node` on node
+//! 0, and so on), matching the default placement of `aprun` on the Cray XE6
+//! the paper used. Aggregator selection follows ROMIO's `cb_config_list`
+//! default of spreading aggregators evenly across nodes.
+
+/// Node/core layout of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Cores (and therefore ranks) per node.
+    pub cores_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `nodes * cores_per_node` rank slots.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(cores_per_node > 0, "topology needs at least one core");
+        Self {
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.cores_per_node
+    }
+
+    /// Whether two ranks share a node (and therefore use shared memory
+    /// rather than the interconnect).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Total rank slots.
+    pub fn capacity(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Selects I/O aggregator ranks: `per_node` aggregators on each node,
+    /// spread evenly across that node's cores, restricted to ranks below
+    /// `nprocs`. This mirrors ROMIO's default of one (or a few) aggregators
+    /// per node chosen from distinct nodes.
+    ///
+    /// The paper's Fig. 1 run uses 6 aggregators per 12-core node; the
+    /// Fig. 9 runs use 1 per 24-core node.
+    pub fn aggregators(&self, nprocs: usize, per_node: usize) -> Vec<usize> {
+        assert!(per_node >= 1, "need at least one aggregator per node");
+        assert!(
+            per_node <= self.cores_per_node,
+            "cannot place {per_node} aggregators on a {}-core node",
+            self.cores_per_node
+        );
+        let mut aggs = Vec::new();
+        let stride = self.cores_per_node / per_node;
+        for node in 0..self.nodes {
+            for slot in 0..per_node {
+                let rank = node * self.cores_per_node + slot * stride.max(1);
+                if rank < nprocs {
+                    aggs.push(rank);
+                }
+            }
+        }
+        aggs.sort_unstable();
+        aggs.dedup();
+        assert!(
+            !aggs.is_empty(),
+            "no aggregators selected for nprocs={nprocs}"
+        );
+        aggs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_placement_is_blockwise() {
+        let t = Topology::new(3, 4);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(11), 2);
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn one_aggregator_per_node() {
+        let t = Topology::new(5, 24);
+        let aggs = t.aggregators(120, 1);
+        assert_eq!(aggs, vec![0, 24, 48, 72, 96]);
+    }
+
+    #[test]
+    fn six_aggregators_per_twelve_core_node() {
+        // The paper's Fig. 1 configuration: 72 ranks, 6 nodes x 12 cores,
+        // 6 aggregators per node => 36 aggregators.
+        let t = Topology::new(6, 12);
+        let aggs = t.aggregators(72, 6);
+        assert_eq!(aggs.len(), 36);
+        // Aggregators on node 0 are every other core.
+        assert_eq!(&aggs[..6], &[0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn aggregators_respect_nprocs() {
+        let t = Topology::new(4, 8);
+        // Only 10 ranks running: nodes 2 and 3 are empty.
+        let aggs = t.aggregators(10, 1);
+        assert_eq!(aggs, vec![0, 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_aggregators_panics() {
+        let t = Topology::new(1, 4);
+        let _ = t.aggregators(4, 5);
+    }
+}

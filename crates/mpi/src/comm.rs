@@ -1,0 +1,470 @@
+//! Point-to-point messaging and per-rank virtual clocks.
+//!
+//! Sends are eager and buffered (they never block), receives block until a
+//! matching envelope arrives. Matching follows MPI semantics: by source and
+//! tag, with wildcards, FIFO per (source, tag) pair. Every operation moves
+//! real bytes *and* advances the rank's virtual clock: a send charges the
+//! sender-side overhead, and a receive completes at
+//! `max(local clock, message arrival time)` where the arrival time was
+//! computed from the sender's clock plus the modeled transfer time.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cc_model::{ClusterModel, SimTime};
+use parking_lot::{Condvar, Mutex};
+
+use crate::elem::{decode_vec, encode_slice, Elem};
+use crate::stats::CommStats;
+
+/// Message tag. Values with the top bit set are reserved for collectives.
+pub type TagValue = u32;
+
+/// Wildcard tag: matches any tag.
+pub const ANY_TAG: TagValue = TagValue::MAX;
+
+/// Base of the tag space reserved for collective operations.
+pub(crate) const COLLECTIVE_TAG_BASE: TagValue = 0x8000_0000;
+
+/// Message source selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Match only messages from this rank.
+    Rank(usize),
+    /// Match messages from any rank.
+    Any,
+}
+
+impl From<usize> for Source {
+    fn from(rank: usize) -> Self {
+        Source::Rank(rank)
+    }
+}
+
+/// Metadata of a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvInfo {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: TagValue,
+    /// Virtual time at which the message arrived at this rank.
+    pub arrival: SimTime,
+}
+
+#[derive(Debug)]
+struct Envelope {
+    src: usize,
+    tag: TagValue,
+    arrival: SimTime,
+    payload: Vec<u8>,
+}
+
+impl Envelope {
+    fn matches(&self, src: Source, tag: TagValue) -> bool {
+        let src_ok = match src {
+            Source::Rank(r) => self.src == r,
+            Source::Any => true,
+        };
+        src_ok && (tag == ANY_TAG || self.tag == tag)
+    }
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+/// State shared by all ranks of one run.
+pub(crate) struct Shared {
+    pub(crate) model: ClusterModel,
+    mailboxes: Vec<Mailbox>,
+}
+
+impl Shared {
+    pub(crate) fn new(nprocs: usize, model: ClusterModel) -> Arc<Self> {
+        let mailboxes = (0..nprocs).map(|_| Mailbox::default()).collect();
+        Arc::new(Self { model, mailboxes })
+    }
+}
+
+/// How long a receive may block in *real* time before we assume the program
+/// deadlocked and abort with a diagnostic. Virtual time is unaffected.
+const RECV_WATCHDOG: Duration = Duration::from_secs(120);
+
+/// One rank's endpoint: identity, mailbox access, and the virtual clock.
+///
+/// A `Comm` is created by [`World::run`](crate::World::run) and handed to the
+/// per-rank closure; it is not `Sync` and must stay on its thread.
+pub struct Comm {
+    rank: usize,
+    nprocs: usize,
+    shared: Arc<Shared>,
+    clock: SimTime,
+    stats: CommStats,
+    pub(crate) collective_seq: u32,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, nprocs: usize, shared: Arc<Shared>) -> Self {
+        Self {
+            rank,
+            nprocs,
+            shared,
+            clock: SimTime::ZERO,
+            stats: CommStats::default(),
+            collective_seq: 0,
+        }
+    }
+
+    /// This rank's id in `0..nprocs`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The shared cluster cost model.
+    pub fn model(&self) -> &ClusterModel {
+        &self.shared.model
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Charges `dur` of local work (computation, memcpy, ...) to the clock.
+    pub fn advance(&mut self, dur: SimTime) {
+        self.clock += dur;
+    }
+
+    /// Moves the clock forward to at least `t` (never backwards).
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Communication counters accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Sends raw bytes to `dst` with `tag`, charging the sender overhead to
+    /// this rank's clock. Never blocks (eager buffered send).
+    pub fn send_bytes(&mut self, dst: usize, tag: TagValue, payload: Vec<u8>) {
+        self.clock += self.shared.model.net.send_cost();
+        let depart = self.clock;
+        self.post_bytes_at(dst, tag, payload, depart);
+    }
+
+    /// Sends raw bytes with an explicit departure time and *without*
+    /// touching this rank's clock. Engines that model their own overlap
+    /// (I/O thread / shuffle thread lanes, as in the paper's Fig. 7) use
+    /// this to stamp messages from lane times. Returns the arrival time.
+    pub fn post_bytes_at(
+        &mut self,
+        dst: usize,
+        tag: TagValue,
+        payload: Vec<u8>,
+        depart: SimTime,
+    ) -> SimTime {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        let same_node = self.shared.model.topology.same_node(self.rank, dst);
+        let arrival = depart + self.shared.model.net.transfer_time(payload.len(), same_node);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len();
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrival,
+            payload,
+        };
+        let mailbox = &self.shared.mailboxes[dst];
+        mailbox.queue.lock().push_back(env);
+        mailbox.arrived.notify_all();
+        arrival
+    }
+
+    /// Receives one message matching `src`/`tag`, blocking until it arrives.
+    /// Advances the clock to the message's arrival time.
+    pub fn recv_bytes(&mut self, src: impl Into<Source>, tag: TagValue) -> (Vec<u8>, RecvInfo) {
+        let (payload, info) = self.recv_bytes_no_clock(src, tag);
+        self.clock = self.clock.max(info.arrival);
+        (payload, info)
+    }
+
+    /// Receives like [`recv_bytes`](Self::recv_bytes) but leaves the clock
+    /// untouched — for engines that account arrival times into their own
+    /// lane structures.
+    pub fn recv_bytes_no_clock(
+        &mut self,
+        src: impl Into<Source>,
+        tag: TagValue,
+    ) -> (Vec<u8>, RecvInfo) {
+        let src = src.into();
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut queue = mailbox.queue.lock();
+        loop {
+            if let Some(pos) = queue.iter().position(|e| e.matches(src, tag)) {
+                let env = queue.remove(pos).expect("position is in range");
+                self.stats.msgs_recv += 1;
+                self.stats.bytes_recv += env.payload.len();
+                let info = RecvInfo {
+                    src: env.src,
+                    tag: env.tag,
+                    arrival: env.arrival,
+                };
+                return (env.payload, info);
+            }
+            let timed_out = mailbox
+                .arrived
+                .wait_for(&mut queue, RECV_WATCHDOG)
+                .timed_out();
+            if timed_out {
+                panic!(
+                    "rank {} deadlocked waiting for src={src:?} tag={tag:#x} \
+                     ({} messages pending, none match)",
+                    self.rank,
+                    queue.len()
+                );
+            }
+        }
+    }
+
+    /// Non-blocking receive: returns the first matching message if one is
+    /// already queued.
+    pub fn try_recv_bytes(
+        &mut self,
+        src: impl Into<Source>,
+        tag: TagValue,
+    ) -> Option<(Vec<u8>, RecvInfo)> {
+        let src = src.into();
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut queue = mailbox.queue.lock();
+        let pos = queue.iter().position(|e| e.matches(src, tag))?;
+        let env = queue.remove(pos).expect("position is in range");
+        drop(queue);
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += env.payload.len();
+        self.clock = self.clock.max(env.arrival);
+        let info = RecvInfo {
+            src: env.src,
+            tag: env.tag,
+            arrival: env.arrival,
+        };
+        Some((env.payload, info))
+    }
+
+    /// Typed send: encodes `data` and sends it. Sends are always eager
+    /// and buffered, so this is also the non-blocking `MPI_Isend`.
+    pub fn send<T: Elem>(&mut self, dst: usize, tag: TagValue, data: &[T]) {
+        self.send_bytes(dst, tag, encode_slice(data));
+    }
+
+    /// Posts a non-blocking receive. The returned request completes via
+    /// [`RecvRequest::test`] or [`RecvRequest::wait`].
+    pub fn irecv(&self, src: impl Into<Source>, tag: TagValue) -> RecvRequest {
+        RecvRequest {
+            src: src.into(),
+            tag,
+        }
+    }
+
+    /// Typed receive: blocks for a matching message and decodes it.
+    pub fn recv<T: Elem>(&mut self, src: impl Into<Source>, tag: TagValue) -> (Vec<T>, RecvInfo) {
+        let (bytes, info) = self.recv_bytes(src, tag);
+        (decode_vec(&bytes), info)
+    }
+}
+
+/// A pending non-blocking receive (`MPI_Irecv` analogue). Matching only
+/// happens at `test`/`wait`; posting the request costs nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvRequest {
+    src: Source,
+    tag: TagValue,
+}
+
+impl RecvRequest {
+    /// Completes the receive, blocking until a matching message arrives.
+    pub fn wait<T: Elem>(self, comm: &mut Comm) -> (Vec<T>, RecvInfo) {
+        comm.recv(self.src, self.tag)
+    }
+
+    /// Attempts to complete the receive without blocking; returns the
+    /// request back if no matching message is queued yet.
+    pub fn test<T: Elem>(self, comm: &mut Comm) -> Result<(Vec<T>, RecvInfo), RecvRequest> {
+        match comm.try_recv_bytes(self.src, self.tag) {
+            Some((bytes, info)) => Ok((decode_vec(&bytes), info)),
+            None => Err(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    fn tiny(n: usize) -> World {
+        World::new(n, ClusterModel::test_tiny(n))
+    }
+
+    #[test]
+    fn ping_pong_moves_data_and_time() {
+        let results = tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0f64, 2.0, 3.0]);
+                let (data, info) = comm.recv::<f64>(1, 8);
+                assert_eq!(info.src, 1);
+                (data, comm.clock())
+            } else {
+                let (mut data, _) = comm.recv::<f64>(0, 7);
+                for v in &mut data {
+                    *v *= 10.0;
+                }
+                comm.send(0, 8, &data);
+                (data, comm.clock())
+            }
+        });
+        assert_eq!(results[0].0, vec![10.0, 20.0, 30.0]);
+        // Rank 0's clock includes two message flights: strictly positive,
+        // and the round trip ends after rank 1 posted its reply.
+        assert!(results[0].1 > SimTime::ZERO);
+        assert!(results[0].1 > results[1].1);
+    }
+
+    #[test]
+    fn tag_matching_is_selective() {
+        let results = tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1u32]);
+                comm.send(1, 2, &[2u32]);
+                comm.send(1, 3, &[3u32]);
+                vec![]
+            } else {
+                // Receive out of send order by tag.
+                let (c, _) = comm.recv::<u32>(0, 3);
+                let (a, _) = comm.recv::<u32>(0, 1);
+                let (b, _) = comm.recv::<u32>(0, 2);
+                vec![a[0], b[0], c[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let results = tiny(3).run(|comm| {
+            if comm.rank() == 2 {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    let (v, info) = comm.recv::<u64>(Source::Any, ANY_TAG);
+                    got.push((info.src, v[0]));
+                }
+                got.sort_unstable();
+                got
+            } else {
+                comm.send(2, comm.rank() as TagValue, &[comm.rank() as u64 * 100]);
+                vec![]
+            }
+        });
+        assert_eq!(results[2], vec![(0, 0), (1, 100)]);
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let results = tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send(1, 5, &[i]);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| comm.recv::<u32>(0, 5).0[0]).collect()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn irecv_test_and_wait() {
+        tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                // Nothing queued yet: test fails and returns the request.
+                let req = comm.irecv(1, 3);
+                let req = match req.test::<u32>(comm) {
+                    Err(r) => r,
+                    Ok(_) => panic!("nothing was sent yet"),
+                };
+                comm.send(1, 2, &[1u8]); // release the peer
+                let (data, info) = req.wait::<u32>(comm);
+                assert_eq!(data, vec![77]);
+                assert_eq!(info.src, 1);
+            } else {
+                let _ = comm.recv::<u8>(0, 2);
+                comm.send(0, 3, &[77u32]);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                assert!(comm.try_recv_bytes(1, 9).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn clock_advances_on_recv_to_arrival() {
+        let results = tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                // Do a lot of local "work" first so rank 1's message is old.
+                comm.advance(SimTime::from_secs(5.0));
+                comm.send(1, 0, &[0u8]);
+                comm.clock()
+            } else {
+                let (_, info) = comm.recv_bytes(0, 0);
+                // Arrival is after sender's 5 seconds of work.
+                assert!(info.arrival > SimTime::from_secs(5.0));
+                assert_eq!(comm.clock(), info.arrival);
+                comm.clock()
+            }
+        });
+        assert!(results[1] > results[0].saturating_since(SimTime::from_secs(0.1)));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let results = tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[1.0f64; 10]);
+                comm.stats()
+            } else {
+                let _ = comm.recv::<f64>(0, 0);
+                comm.stats()
+            }
+        });
+        assert_eq!(results[0].msgs_sent, 1);
+        assert_eq!(results[0].bytes_sent, 80);
+        assert_eq!(results[1].msgs_recv, 1);
+        assert_eq!(results[1].bytes_recv, 80);
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_to_out_of_range_rank_panics() {
+        tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(5, 0, &[0u8]);
+            }
+        });
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-rank communication statistics.
+//!
+//! The overhead figures in the paper (Figs. 11-12) are fundamentally
+//! message/byte counts; keeping them on the communicator makes every
+//! benchmark's accounting come from the same source of truth.
+
+/// Counters accumulated by one rank's [`Comm`](crate::Comm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages posted by this rank.
+    pub msgs_sent: usize,
+    /// Payload bytes posted by this rank.
+    pub bytes_sent: usize,
+    /// Messages received by this rank.
+    pub msgs_recv: usize,
+    /// Payload bytes received by this rank.
+    pub bytes_recv: usize,
+}
+
+impl CommStats {
+    /// Adds another rank's counters into this one (for whole-run totals).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+        };
+        let b = CommStats {
+            msgs_sent: 3,
+            bytes_sent: 30,
+            msgs_recv: 4,
+            bytes_recv: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CommStats {
+                msgs_sent: 4,
+                bytes_sent: 40,
+                msgs_recv: 6,
+                bytes_recv: 60,
+            }
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! SPMD launcher: one OS thread per rank.
+
+use std::sync::Arc;
+
+use cc_model::ClusterModel;
+
+use crate::comm::{Comm, Shared};
+
+/// A simulated MPI world: `nprocs` ranks placed on the model's topology.
+///
+/// `run` may be called repeatedly; each call is an independent job with
+/// fresh mailboxes and clocks (like separate `mpiexec` invocations).
+pub struct World {
+    nprocs: usize,
+    model: ClusterModel,
+}
+
+impl World {
+    /// Creates a world of `nprocs` ranks.
+    ///
+    /// # Panics
+    /// Panics if `nprocs` is zero or exceeds the topology's core count —
+    /// the model assumes at most one rank per core.
+    pub fn new(nprocs: usize, model: ClusterModel) -> Self {
+        assert!(nprocs > 0, "need at least one rank");
+        assert!(
+            nprocs <= model.capacity(),
+            "{nprocs} ranks exceed the topology's {} cores",
+            model.capacity()
+        );
+        Self { nprocs, model }
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The cluster model used by this world.
+    pub fn model(&self) -> &ClusterModel {
+        &self.model
+    }
+
+    /// Runs `f` on every rank concurrently and returns the per-rank results
+    /// in rank order. Blocks until all ranks finish.
+    ///
+    /// # Panics
+    /// Propagates a panic from any rank (after all threads are joined).
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        let shared = Shared::new(self.nprocs, self.model.clone());
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.nprocs)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    let nprocs = self.nprocs;
+                    scope.spawn(move || {
+                        let mut comm = Comm::new(rank, nprocs, shared);
+                        f(&mut comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_numbered_and_sized() {
+        let world = World::new(6, ClusterModel::test_tiny(6));
+        let ids = world.run(|comm| (comm.rank(), comm.nprocs()));
+        assert_eq!(
+            ids,
+            (0..6).map(|r| (r, 6)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_is_reusable_with_fresh_state() {
+        let world = World::new(2, ClusterModel::test_tiny(2));
+        for _ in 0..3 {
+            let sent = world.run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, &[9u8]);
+                    0
+                } else {
+                    comm.recv::<u8>(0, 0).0[0]
+                }
+            });
+            assert_eq!(sent[1], 9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversubscription_panics() {
+        let _ = World::new(10, ClusterModel::test_tiny(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = World::new(0, ClusterModel::test_tiny(4));
+    }
+}

@@ -1,0 +1,66 @@
+//! Offset-list exchange.
+//!
+//! Before the two-phase protocol can partition file domains, every process
+//! must know every other process's request — ROMIO does this with an
+//! allgather of flattened offset/length lists, and so do we. The exchange
+//! is a real (timed) collective, so its cost shows up in the totals.
+
+use cc_mpi::Comm;
+
+use crate::extent::OffsetList;
+
+/// Exchanges offset lists among all ranks; returns every rank's request,
+/// indexed by rank. Must be called collectively.
+pub fn exchange_requests(comm: &mut Comm, mine: &OffsetList) -> Vec<OffsetList> {
+    let words = mine.to_words();
+    comm.allgatherv(&words)
+        .iter()
+        .map(|w| OffsetList::from_words(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::Extent;
+    use cc_model::ClusterModel;
+    use cc_mpi::World;
+
+    #[test]
+    fn every_rank_sees_every_request() {
+        let n = 4;
+        let world = World::new(n, ClusterModel::test_tiny(n));
+        let results = world.run(|comm| {
+            let mine = OffsetList::new(vec![Extent {
+                offset: comm.rank() as u64 * 100,
+                len: 10 + comm.rank() as u64,
+            }]);
+            exchange_requests(comm, &mine)
+        });
+        for lists in &results {
+            assert_eq!(lists.len(), n);
+            for (r, l) in lists.iter().enumerate() {
+                assert_eq!(l.min_offset(), Some(r as u64 * 100));
+                assert_eq!(l.total_bytes(), 10 + r as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_requests_survive_exchange() {
+        let world = World::new(3, ClusterModel::test_tiny(3));
+        let results = world.run(|comm| {
+            let mine = if comm.rank() == 1 {
+                OffsetList::contiguous(50, 5)
+            } else {
+                OffsetList::empty()
+            };
+            exchange_requests(comm, &mine)
+        });
+        for lists in &results {
+            assert!(lists[0].is_empty());
+            assert_eq!(lists[1].total_bytes(), 5);
+            assert!(lists[2].is_empty());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! MPI-IO hints, mirroring the ROMIO `cb_*` info keys the paper tunes.
+
+/// Tuning knobs of the two-phase engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hints {
+    /// Collective buffer size per aggregator per iteration
+    /// (`cb_buffer_size`; ROMIO default 4 MiB — the value profiled in the
+    /// paper's Fig. 1 and swept in Fig. 12).
+    pub cb_buffer_size: u64,
+    /// Aggregators per node (`cb_config_list`-style placement).
+    pub aggregators_per_node: usize,
+    /// Overlap the shuffle of iteration `i` with the read of `i+1`
+    /// (double-buffered, the paper's default "non-blocking" collective I/O).
+    pub nonblocking: bool,
+    /// Align file-domain boundaries to stripe boundaries (ROMIO's
+    /// `striping_unit`-aware partitioning).
+    pub align_domains_to: Option<u64>,
+}
+
+impl Default for Hints {
+    fn default() -> Self {
+        Self {
+            cb_buffer_size: 4 << 20,
+            aggregators_per_node: 1,
+            nonblocking: true,
+            align_domains_to: None,
+        }
+    }
+}
+
+impl Hints {
+    /// Validates invariants (positive buffer, positive aggregator count).
+    ///
+    /// # Panics
+    /// Panics on a zero buffer size or zero aggregators per node.
+    pub fn validate(&self) {
+        assert!(self.cb_buffer_size > 0, "cb_buffer_size must be positive");
+        assert!(
+            self.aggregators_per_node > 0,
+            "need at least one aggregator per node"
+        );
+        if let Some(a) = self.align_domains_to {
+            assert!(a > 0, "alignment must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_romio() {
+        let h = Hints::default();
+        assert_eq!(h.cb_buffer_size, 4 << 20);
+        assert!(h.nonblocking);
+        h.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buffer_rejected() {
+        Hints {
+            cb_buffer_size: 0,
+            ..Hints::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,369 @@
+//! The deterministic collective plan.
+//!
+//! Once offset lists are exchanged, *every* rank can compute the entire
+//! schedule of the two-phase protocol symmetrically: the file-domain
+//! partition, each aggregator's iteration chunks, the covering extent each
+//! chunk reads, and exactly which pieces of which chunk go to which rank.
+//! ROMIO computes the same information on the fly; we reify it as a value
+//! so that both the raw two-phase engine and the collective-computing
+//! engine (which inserts the map between the phases) can share it — and so
+//! it can be property-tested in isolation.
+
+use cc_model::Topology;
+
+use crate::extent::{OffsetList, Piece};
+use crate::hints::Hints;
+
+/// The shared schedule of one collective operation.
+#[derive(Debug, Clone)]
+pub struct CollectivePlan {
+    /// Aggregator rank ids, ascending.
+    pub aggregators: Vec<usize>,
+    /// File domain `[lo, hi)` per aggregator (parallel to `aggregators`).
+    /// Empty domains are `(x, x)`.
+    pub domains: Vec<(u64, u64)>,
+    /// Collective buffer size (bytes per iteration).
+    pub cb: u64,
+    /// Every rank's request, indexed by rank.
+    pub requests: Vec<OffsetList>,
+}
+
+impl CollectivePlan {
+    /// Builds the plan from exchanged requests. Deterministic: all ranks
+    /// compute the identical plan from the identical inputs.
+    pub fn build(
+        requests: Vec<OffsetList>,
+        topology: &Topology,
+        nprocs: usize,
+        hints: &Hints,
+    ) -> Self {
+        hints.validate();
+        assert_eq!(requests.len(), nprocs, "one request per rank");
+        let aggregators = topology.aggregators(nprocs, hints.aggregators_per_node);
+        let lo = requests.iter().filter_map(|r| r.min_offset()).min();
+        let hi = requests.iter().filter_map(|r| r.max_end()).max();
+        let (lo, hi) = match (lo, hi) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => (0, 0), // nobody asked for anything
+        };
+        let domains = Self::partition(lo, hi, aggregators.len(), hints.align_domains_to);
+        Self {
+            aggregators,
+            domains,
+            cb: hints.cb_buffer_size,
+            requests,
+        }
+    }
+
+    /// Splits `[lo, hi)` into `n` nearly-even domains, optionally aligning
+    /// interior boundaries up to a multiple of `align`.
+    fn partition(lo: u64, hi: u64, n: usize, align: Option<u64>) -> Vec<(u64, u64)> {
+        assert!(n > 0, "need at least one aggregator");
+        let range = hi - lo;
+        let base = range.div_ceil(n as u64).max(1);
+        let mut domains = Vec::with_capacity(n);
+        let mut cursor = lo;
+        for i in 0..n {
+            let mut end = if i + 1 == n {
+                hi
+            } else {
+                (lo + base * (i as u64 + 1)).min(hi)
+            };
+            if i + 1 < n {
+                if let Some(a) = align {
+                    // Round interior boundaries up to the next alignment
+                    // multiple (in absolute file offsets), like ROMIO's
+                    // striping-aware partitioning.
+                    end = end.div_ceil(a) * a;
+                    end = end.min(hi);
+                }
+            }
+            let start = cursor.min(end);
+            domains.push((start, end.max(start)));
+            cursor = end.max(start);
+        }
+        domains
+    }
+
+    /// The index in `aggregators` of rank `r`, if it is an aggregator.
+    pub fn aggregator_index(&self, rank: usize) -> Option<usize> {
+        self.aggregators.binary_search(&rank).ok()
+    }
+
+    /// Number of collective-buffer iterations aggregator `agg_idx` performs.
+    pub fn n_iterations(&self, agg_idx: usize) -> usize {
+        let (lo, hi) = self.domains[agg_idx];
+        ((hi - lo).div_ceil(self.cb)) as usize
+    }
+
+    /// The maximum iteration count over all aggregators (the collective
+    /// completes when the busiest aggregator finishes).
+    pub fn max_iterations(&self) -> usize {
+        (0..self.aggregators.len())
+            .map(|a| self.n_iterations(a))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The iterations of `agg_idx` whose chunks contain requested bytes,
+    /// ascending. Computed by scanning request extents rather than chunks,
+    /// so sparse requests over a huge file domain stay cheap (the paper's
+    /// Fig. 1 workload covers ~300 GB of file range with ~0.3 GB of
+    /// requests).
+    pub fn active_iterations(&self, agg_idx: usize) -> Vec<usize> {
+        let (dlo, dhi) = self.domains[agg_idx];
+        if dlo >= dhi {
+            return Vec::new();
+        }
+        let n = self.n_iterations(agg_idx);
+        let mut active = vec![false; n];
+        for req in &self.requests {
+            for p in req.locate(dlo, dhi) {
+                let first = ((p.extent.offset - dlo) / self.cb) as usize;
+                let last = ((p.extent.end() - 1 - dlo) / self.cb) as usize;
+                for slot in active.iter_mut().take(last.min(n - 1) + 1).skip(first) {
+                    *slot = true;
+                }
+            }
+        }
+        active
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect()
+    }
+
+    /// The file range `[lo, hi)` of iteration `iter` of aggregator `agg_idx`.
+    pub fn chunk(&self, agg_idx: usize, iter: usize) -> (u64, u64) {
+        let (lo, hi) = self.domains[agg_idx];
+        let start = lo + self.cb * iter as u64;
+        (start.min(hi), (start + self.cb).min(hi))
+    }
+
+    /// The covering extent the aggregator actually reads in this chunk:
+    /// from the first to the last byte any rank requested inside it.
+    /// `None` if the chunk contains no requested bytes.
+    pub fn read_range(&self, agg_idx: usize, iter: usize) -> Option<(u64, u64)> {
+        let (lo, hi) = self.chunk(agg_idx, iter);
+        let mut first = u64::MAX;
+        let mut last = 0u64;
+        for req in &self.requests {
+            for p in req.locate(lo, hi) {
+                first = first.min(p.extent.offset);
+                last = last.max(p.extent.end());
+            }
+        }
+        (first < last).then_some((first, last))
+    }
+
+    /// The pieces of chunk `(agg_idx, iter)` destined for `rank`, in file
+    /// order, with their positions in `rank`'s request buffer.
+    pub fn pieces_for(&self, agg_idx: usize, iter: usize, rank: usize) -> Vec<Piece> {
+        let (lo, hi) = self.chunk(agg_idx, iter);
+        self.requests[rank].locate(lo, hi)
+    }
+
+    /// All `(agg_idx, iter)` chunks that contain bytes for `rank`, in
+    /// deterministic (aggregator, iteration) order. Receivers use this to
+    /// know exactly which messages to expect.
+    pub fn sources_for(&self, rank: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for agg_idx in 0..self.aggregators.len() {
+            let (dlo, dhi) = self.domains[agg_idx];
+            if dlo >= dhi {
+                continue;
+            }
+            let n = self.n_iterations(agg_idx);
+            let mut seen = vec![false; n];
+            for p in self.requests[rank].locate(dlo, dhi) {
+                let first = ((p.extent.offset - dlo) / self.cb) as usize;
+                let last = (((p.extent.end() - 1 - dlo) / self.cb) as usize).min(n - 1);
+                for slot in seen.iter_mut().take(last + 1).skip(first) {
+                    *slot = true;
+                }
+            }
+            out.extend(
+                seen.iter()
+                    .enumerate()
+                    .filter_map(|(i, &s)| s.then_some((agg_idx, i))),
+            );
+        }
+        out
+    }
+
+    /// The ranks receiving bytes from chunk `(agg_idx, iter)`, ascending.
+    pub fn destinations(&self, agg_idx: usize, iter: usize) -> Vec<usize> {
+        let (lo, hi) = self.chunk(agg_idx, iter);
+        (0..self.requests.len())
+            .filter(|&r| self.requests[r].bytes_in(lo, hi) > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::Extent;
+    use proptest::prelude::*;
+
+    fn hints(cb: u64) -> Hints {
+        Hints {
+            cb_buffer_size: cb,
+            aggregators_per_node: 1,
+            nonblocking: true,
+            align_domains_to: None,
+        }
+    }
+
+    fn contiguous_per_rank(n: usize, each: u64) -> Vec<OffsetList> {
+        (0..n as u64)
+            .map(|r| OffsetList::contiguous(r * each, each))
+            .collect()
+    }
+
+    #[test]
+    fn domains_tile_the_range() {
+        let topo = Topology::new(2, 2);
+        let plan = CollectivePlan::build(contiguous_per_rank(4, 100), &topo, 4, &hints(64));
+        assert_eq!(plan.aggregators, vec![0, 2]);
+        assert_eq!(plan.domains, vec![(0, 200), (200, 400)]);
+    }
+
+    #[test]
+    fn aligned_domains_round_up() {
+        let topo = Topology::new(2, 1);
+        let h = Hints {
+            align_domains_to: Some(64),
+            ..hints(64)
+        };
+        let plan = CollectivePlan::build(contiguous_per_rank(2, 100), &topo, 2, &h);
+        // Range [0, 200), even split at 100, aligned up to 128.
+        assert_eq!(plan.domains, vec![(0, 128), (128, 200)]);
+    }
+
+    #[test]
+    fn iteration_chunks_cover_domain() {
+        let topo = Topology::new(1, 1);
+        let plan = CollectivePlan::build(contiguous_per_rank(1, 250), &topo, 1, &hints(100));
+        assert_eq!(plan.n_iterations(0), 3);
+        assert_eq!(plan.chunk(0, 0), (0, 100));
+        assert_eq!(plan.chunk(0, 1), (100, 200));
+        assert_eq!(plan.chunk(0, 2), (200, 250));
+    }
+
+    #[test]
+    fn read_range_skips_holes() {
+        let topo = Topology::new(1, 2);
+        let reqs = vec![
+            OffsetList::new(vec![Extent { offset: 10, len: 5 }]),
+            OffsetList::new(vec![Extent { offset: 80, len: 5 }]),
+        ];
+        let plan = CollectivePlan::build(reqs, &topo, 2, &hints(1000));
+        // One chunk [10, 85): covering range is 10..85.
+        assert_eq!(plan.read_range(0, 0), Some((10, 85)));
+    }
+
+    #[test]
+    fn empty_request_set_yields_empty_plan() {
+        let topo = Topology::new(1, 2);
+        let plan = CollectivePlan::build(
+            vec![OffsetList::empty(), OffsetList::empty()],
+            &topo,
+            2,
+            &hints(100),
+        );
+        assert_eq!(plan.max_iterations(), 0);
+        assert!(plan.sources_for(0).is_empty());
+    }
+
+    #[test]
+    fn sources_match_destinations() {
+        let topo = Topology::new(2, 2);
+        // Interleaved requests: rank r takes bytes r*10 + k*40 for k=0..5.
+        let reqs: Vec<OffsetList> = (0..4u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..5)
+                        .map(|k| Extent {
+                            offset: r * 10 + k * 40,
+                            len: 10,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let plan = CollectivePlan::build(reqs, &topo, 4, &hints(32));
+        for rank in 0..4 {
+            for (a, i) in plan.sources_for(rank) {
+                assert!(
+                    plan.destinations(a, i).contains(&rank),
+                    "sources/destinations disagree for rank {rank} at ({a},{i})"
+                );
+            }
+        }
+        for a in 0..plan.aggregators.len() {
+            for i in 0..plan.n_iterations(a) {
+                for rank in plan.destinations(a, i) {
+                    assert!(plan.sources_for(rank).contains(&(a, i)));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pieces_reassemble_requests(
+            seed_lens in proptest::collection::vec((1u64..30, 1u64..30), 1..12),
+            nprocs in 1usize..6,
+            cb in 1u64..200,
+        ) {
+            // Build nprocs requests by striding the generated extents.
+            let mut reqs: Vec<Vec<Extent>> = vec![Vec::new(); nprocs];
+            let mut pos = 0u64;
+            for (i, (gap, len)) in seed_lens.iter().enumerate() {
+                pos += gap;
+                reqs[i % nprocs].push(Extent { offset: pos, len: *len });
+                pos += len;
+            }
+            let requests: Vec<OffsetList> = reqs.into_iter().map(OffsetList::new).collect();
+            let topo = Topology::new(1, nprocs);
+            let plan = CollectivePlan::build(requests.clone(), &topo, nprocs, &hints(cb));
+
+            // Every rank's pieces, collected over all chunks, must tile its
+            // request buffer exactly.
+            #[allow(clippy::needless_range_loop)]
+            for rank in 0..nprocs {
+                let mut pieces = Vec::new();
+                for a in 0..plan.aggregators.len() {
+                    for i in 0..plan.n_iterations(a) {
+                        pieces.extend(plan.pieces_for(a, i, rank));
+                    }
+                }
+                pieces.sort_by_key(|p| p.buf_offset);
+                let mut cursor = 0u64;
+                for p in &pieces {
+                    prop_assert_eq!(p.buf_offset, cursor);
+                    cursor += p.extent.len;
+                }
+                prop_assert_eq!(cursor, requests[rank].total_bytes());
+            }
+        }
+
+        #[test]
+        fn prop_domains_are_disjoint_and_ordered(
+            n in 1usize..8,
+            lo in 0u64..1000,
+            span in 0u64..10_000,
+            align in proptest::option::of(1u64..128),
+        ) {
+            let domains = CollectivePlan::partition(lo, lo + span, n, align);
+            prop_assert_eq!(domains.len(), n);
+            prop_assert_eq!(domains[0].0, lo);
+            prop_assert_eq!(domains[n - 1].1, lo + span);
+            for w in domains.windows(2) {
+                prop_assert!(w[0].1 == w[1].0, "domains must be contiguous");
+                prop_assert!(w[0].0 <= w[0].1);
+            }
+        }
+    }
+}

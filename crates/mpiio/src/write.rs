@@ -1,0 +1,408 @@
+//! The two-phase collective write engine.
+//!
+//! The mirror image of [`twophase`](crate::twophase): ranks scatter the
+//! pieces of their write buffers to the aggregators owning the target file
+//! domains (phase 1, the shuffle), and each aggregator assembles the
+//! pieces of each collective-buffer chunk and issues large writes
+//! (phase 2, the I/O). Only requested byte ranges are written — holes in a
+//! chunk are skipped rather than read-modify-written, which is sufficient
+//! because requests never overlap within one offset list and overlapping
+//! writes *across* ranks are application bugs MPI-IO leaves undefined.
+
+use cc_model::{Lane, SimTime};
+use cc_mpi::comm::TagValue;
+use cc_mpi::Comm;
+use cc_pfs::{FileHandle, Pfs};
+use cc_profile::{Activity, Segment};
+
+use crate::exchange::exchange_requests;
+use crate::extent::{Extent, OffsetList};
+use crate::hints::Hints;
+use crate::plan::CollectivePlan;
+
+/// Tag used by write-shuffle messages.
+pub(crate) const TAG_WRITE_SHUFFLE: TagValue = 0x4000_0002;
+
+/// What one rank observed during a collective write.
+#[derive(Debug, Clone, Default)]
+pub struct WriteReport {
+    /// Bytes this rank wrote to the file system (aggregator role).
+    pub bytes_written: u64,
+    /// Bytes this rank sent during the shuffle.
+    pub bytes_shuffled: u64,
+    /// File-system write calls issued by this rank.
+    pub writes_issued: u64,
+    /// Virtual time entering the collective.
+    pub start: SimTime,
+    /// Virtual time when this rank's role completed.
+    pub end: SimTime,
+    /// Activity segments for CPU profiling.
+    pub segments: Vec<Segment>,
+}
+
+impl WriteReport {
+    /// Elapsed virtual time.
+    pub fn elapsed(&self) -> SimTime {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Collectively writes `data` (the bytes of `my_request`, in request-buffer
+/// order) to `file`. Must be called by all ranks.
+///
+/// # Panics
+/// Panics if `data.len()` does not match the request size.
+pub fn collective_write(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    my_request: &OffsetList,
+    data: &[u8],
+    hints: &Hints,
+) -> WriteReport {
+    assert_eq!(
+        data.len() as u64,
+        my_request.total_bytes(),
+        "write buffer does not match the request size"
+    );
+    let requests = exchange_requests(comm, my_request);
+    let plan = CollectivePlan::build(
+        requests,
+        &comm.model().topology.clone(),
+        comm.nprocs(),
+        hints,
+    );
+    let mut report = WriteReport {
+        start: comm.clock(),
+        ..WriteReport::default()
+    };
+
+    // --- Sender role: scatter my pieces to the owning aggregators. -----
+    let cpu = comm.model().cpu.clone();
+    let mut send_lane = Lane::free_from(comm.clock());
+    for (a, iter) in plan.sources_for(comm.rank()) {
+        let agg_rank = plan.aggregators[a];
+        let pieces = plan.pieces_for(a, iter, comm.rank());
+        let piece_bytes: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
+        let mut payload = Vec::with_capacity(piece_bytes);
+        for p in &pieces {
+            let lo = p.buf_offset as usize;
+            payload.extend_from_slice(&data[lo..lo + p.extent.len as usize]);
+        }
+        if agg_rank == comm.rank() {
+            // Own pieces are handed over locally in the aggregator loop.
+            continue;
+        }
+        let same_node = comm.model().topology.same_node(comm.rank(), agg_rank);
+        let cost = cpu.memcpy_time(payload.len())
+            + comm.model().net.scatter_cost().scale(pieces.len() as f64)
+            + comm.model().net.wire_time(payload.len(), same_node);
+        let depart = send_lane.acquire(comm.clock(), cost);
+        report.bytes_shuffled += payload.len() as u64;
+        comm.post_bytes_at(agg_rank, TAG_WRITE_SHUFFLE, payload, depart);
+    }
+    let sends_done = send_lane.free_at().max(comm.clock());
+    if sends_done > report.start {
+        report
+            .segments
+            .push(Segment::new(report.start, sends_done, Activity::Sys));
+    }
+
+    // --- Aggregator role: assemble chunks and write. --------------------
+    let mut done = sends_done;
+    if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
+        done = done.max(run_write_aggregator(
+            comm,
+            pfs,
+            file,
+            &plan,
+            agg_idx,
+            hints,
+            data,
+            my_request,
+            &mut report,
+        ));
+    }
+    comm.advance_to(done);
+    report.end = comm.clock();
+    report
+}
+
+/// Assembles and writes every chunk of one aggregator's file domain;
+/// returns the time the last write completed.
+#[allow(clippy::too_many_arguments)]
+fn run_write_aggregator(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    plan: &CollectivePlan,
+    agg_idx: usize,
+    hints: &Hints,
+    my_data: &[u8],
+    my_request: &OffsetList,
+    report: &mut WriteReport,
+) -> SimTime {
+    let cpu = comm.model().cpu.clone();
+    let mut recv_done = comm.clock();
+    let mut io_lane = Lane::free_from(comm.clock());
+    let single_lane = !hints.nonblocking;
+    let mut last = comm.clock();
+
+    for iter in plan.active_iterations(agg_idx) {
+        let (clo, chi) = plan.chunk(agg_idx, iter);
+        let mut chunk = vec![0u8; (chi - clo) as usize];
+        let mut extents: Vec<Extent> = Vec::new();
+        let mut arrival = recv_done;
+        for src in plan.destinations(agg_idx, iter) {
+            let pieces = plan.pieces_for(agg_idx, iter, src);
+            let payload: Vec<u8>;
+            if src == comm.rank() {
+                let mut own = Vec::new();
+                for p in &pieces {
+                    let lo = p.buf_offset as usize;
+                    own.extend_from_slice(&my_data[lo..lo + p.extent.len as usize]);
+                }
+                // Offsets of my own pieces come from my own request.
+                debug_assert_eq!(
+                    my_request.bytes_in(clo, chi),
+                    own.len() as u64,
+                    "own piece extraction mismatch"
+                );
+                payload = own;
+            } else {
+                let (bytes, info) = comm.recv_bytes_no_clock(src, TAG_WRITE_SHUFFLE);
+                arrival = arrival.max(info.arrival);
+                payload = bytes;
+            }
+            let mut cursor = 0usize;
+            for p in &pieces {
+                let off = (p.extent.offset - clo) as usize;
+                let len = p.extent.len as usize;
+                chunk[off..off + len].copy_from_slice(&payload[cursor..cursor + len]);
+                cursor += len;
+                extents.push(p.extent);
+            }
+            assert_eq!(cursor, payload.len(), "write payload length mismatch");
+        }
+        recv_done = arrival;
+        // Merge the received extents and write each contiguous run.
+        let merged = OffsetList::new(extents);
+        let assemble = cpu.memcpy_time(merged.total_bytes() as usize);
+        let ready = arrival.max(io_lane.free_at()) + assemble;
+        let mut write_done = ready;
+        for e in merged.extents() {
+            let off = (e.offset - clo) as usize;
+            let t = pfs.write_at(
+                file,
+                e.offset,
+                &chunk[off..off + e.len as usize],
+                write_done,
+            );
+            write_done = t;
+            report.bytes_written += e.len;
+            report.writes_issued += 1;
+        }
+        io_lane.advance_to(write_done);
+        if single_lane {
+            // Blocking mode: the next chunk's receives cannot overlap.
+            recv_done = recv_done.max(write_done);
+        }
+        report
+            .segments
+            .push(Segment::new(ready, write_done, Activity::Wait));
+        last = last.max(write_done);
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_model::{ClusterModel, Topology};
+    use cc_mpi::World;
+    use cc_pfs::{MemBackend, StripeLayout};
+    use std::sync::Arc;
+
+    fn empty_fs(size: usize) -> Arc<Pfs> {
+        let fs = Pfs::new(
+            2,
+            cc_model::DiskModel {
+                seek: 1e-3,
+                ost_bandwidth: 1e8,
+            },
+        );
+        fs.create(
+            "out",
+            StripeLayout::round_robin(256, 2, 0, 2),
+            Box::new(MemBackend::zeroed(size)),
+        );
+        Arc::new(fs)
+    }
+
+    fn run_write(
+        nprocs: usize,
+        requests: Vec<OffsetList>,
+        fs: Arc<Pfs>,
+        hints: Hints,
+    ) -> Vec<WriteReport> {
+        let mut model = ClusterModel::test_tiny(nprocs);
+        model.topology = Topology::new(1, nprocs);
+        let world = World::new(nprocs, model);
+        let fs = &fs;
+        let requests = &requests;
+        let hints = &hints;
+        world.run(move |comm| {
+            let file = fs.open("out").expect("exists");
+            let req = &requests[comm.rank()];
+            // Rank r writes bytes valued (file_offset % 251), so the
+            // expected file contents are position-determined.
+            let mut data = Vec::new();
+            for e in req.extents() {
+                data.extend((e.offset..e.end()).map(|i| (i % 251) as u8));
+            }
+            collective_write(comm, fs, &file, req, &data, hints)
+        })
+    }
+
+    fn check_file(fs: &Pfs, requests: &[OffsetList], size: u64) {
+        let file = fs.open("out").expect("exists");
+        let (bytes, _) = fs.read_at(&file, 0, size, SimTime::ZERO);
+        let mut expect = vec![0u8; size as usize];
+        for req in requests {
+            for e in req.extents() {
+                for i in e.offset..e.end() {
+                    expect[i as usize] = (i % 251) as u8;
+                }
+            }
+        }
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn contiguous_blocks_roundtrip() {
+        let n = 4;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| OffsetList::contiguous(r * 500, 500))
+            .collect();
+        let fs = empty_fs(2000);
+        let reports = run_write(n, requests.clone(), Arc::clone(&fs), Hints::default());
+        check_file(&fs, &requests, 2000);
+        let written: u64 = reports.iter().map(|r| r.bytes_written).sum();
+        assert_eq!(written, 2000);
+    }
+
+    #[test]
+    fn interleaved_writes_with_holes() {
+        // Rank r writes 10-byte pieces at r*10 + k*60: holes at 40..60 of
+        // each 60-byte group must stay zero.
+        let n = 4;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..8)
+                        .map(|k| Extent {
+                            offset: r * 10 + k * 60,
+                            len: 10,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let fs = empty_fs(600);
+        run_write(
+            n,
+            requests.clone(),
+            Arc::clone(&fs),
+            Hints {
+                cb_buffer_size: 128,
+                ..Hints::default()
+            },
+        );
+        check_file(&fs, &requests, 600);
+    }
+
+    #[test]
+    fn writes_coalesce_per_chunk() {
+        // Adjacent pieces from different ranks merge into few writes.
+        let n = 4;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| OffsetList::contiguous(r * 100, 100))
+            .collect();
+        let fs = empty_fs(400);
+        let reports = run_write(
+            n,
+            requests,
+            Arc::clone(&fs),
+            Hints {
+                cb_buffer_size: 1 << 20,
+                aggregators_per_node: 1,
+                ..Hints::default()
+            },
+        );
+        // One aggregator, one chunk, fully contiguous: exactly one write.
+        let writes: u64 = reports.iter().map(|r| r.writes_issued).sum();
+        assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn empty_writers_are_fine() {
+        let n = 3;
+        let mut requests = vec![OffsetList::empty(); n];
+        requests[1] = OffsetList::contiguous(64, 64);
+        let fs = empty_fs(256);
+        run_write(n, requests.clone(), Arc::clone(&fs), Hints::default());
+        check_file(&fs, &requests, 256);
+    }
+
+    #[test]
+    fn write_then_collective_read_roundtrip() {
+        let n = 2;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..5)
+                        .map(|k| Extent {
+                            offset: r * 20 + k * 40,
+                            len: 20,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let fs = empty_fs(220);
+        let mut model = ClusterModel::test_tiny(n);
+        model.topology = Topology::new(1, n);
+        let world = World::new(n, model);
+        let fs = &fs;
+        let requests = &requests;
+        let ok = world.run(move |comm| {
+            let file = fs.open("out").expect("exists");
+            let req = &requests[comm.rank()];
+            let mut data = Vec::new();
+            for e in req.extents() {
+                data.extend((e.offset..e.end()).map(|i| (i % 251) as u8));
+            }
+            collective_write(comm, fs, &file, req, &data, &Hints::default());
+            comm.barrier();
+            let (back, _) =
+                crate::twophase::collective_read(comm, fs, &file, req, &Hints::default());
+            back == data
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_buffer_size_panics() {
+        let fs = empty_fs(128);
+        let mut model = ClusterModel::test_tiny(1);
+        model.topology = Topology::new(1, 1);
+        let world = World::new(1, model);
+        let fs = &fs;
+        world.run(move |comm| {
+            let file = fs.open("out").expect("exists");
+            let req = OffsetList::contiguous(0, 64);
+            collective_write(comm, fs, &file, &req, &[0u8; 10], &Hints::default());
+        });
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic fault injection for reads.
+//!
+//! The paper's conclusion names fault tolerance as future work; this module
+//! provides the substrate for exercising it. Faults are injected by a
+//! deterministic counter — every `fail_every`-th read attempt fails
+//! transiently — so tests are reproducible. The file system retries failed
+//! attempts internally (up to a bound) and charges a virtual-time penalty
+//! per retry, exactly like a Lustre client resending an RPC.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cc_model::SimTime;
+
+/// A plan for injecting transient read faults.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// Every `fail_every`-th read attempt fails (1-based counting).
+    pub fail_every: u64,
+    /// Virtual-time penalty charged per retry.
+    pub retry_penalty: SimTime,
+    /// Maximum retries before the read panics (a hard failure).
+    pub max_retries: u32,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan failing every `fail_every`-th attempt.
+    ///
+    /// # Panics
+    /// Panics if `fail_every` is zero.
+    pub fn every(fail_every: u64, retry_penalty: SimTime, max_retries: u32) -> Self {
+        assert!(fail_every > 0, "fail_every must be at least 1");
+        Self {
+            fail_every,
+            retry_penalty,
+            max_retries,
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one attempt; returns `true` if this attempt fails.
+    pub fn attempt_fails(&self) -> bool {
+        let n = self.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(self.fail_every)
+    }
+
+    /// Records a retry.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Attempts observed so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_third_attempt_fails() {
+        let plan = FaultPlan::every(3, SimTime::from_secs(0.1), 5);
+        let pattern: Vec<bool> = (0..9).map(|_| plan.attempt_fails()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(plan.attempts(), 9);
+    }
+
+    #[test]
+    fn retries_are_counted() {
+        let plan = FaultPlan::every(1, SimTime::ZERO, 3);
+        plan.note_retry();
+        plan.note_retry();
+        assert_eq!(plan.retries(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_panics() {
+        let _ = FaultPlan::every(0, SimTime::ZERO, 1);
+    }
+}

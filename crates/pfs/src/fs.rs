@@ -1,0 +1,380 @@
+//! The file system facade: namespace, handles, timed reads and writes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cc_model::{DiskModel, SimTime};
+use parking_lot::RwLock;
+
+use crate::backend::Backend;
+use crate::fault::FaultPlan;
+use crate::layout::StripeLayout;
+use crate::ost::OstPool;
+
+/// Global counters for one file system instance.
+#[derive(Debug, Default)]
+pub struct PfsStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    extents_served: AtomicU64,
+}
+
+/// A point-in-time copy of [`PfsStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PfsStatsSnapshot {
+    /// Read calls.
+    pub reads: u64,
+    /// Write calls.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Discontiguous extents served (each costs one positioning op).
+    pub extents_served: u64,
+}
+
+impl PfsStats {
+    fn snapshot(&self) -> PfsStatsSnapshot {
+        PfsStatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            extents_served: self.extents_served.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An open file: striping plus contents.
+pub struct FileHandle {
+    name: String,
+    layout: StripeLayout,
+    backend: Box<dyn Backend>,
+}
+
+impl FileHandle {
+    /// The file's name in the namespace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The file's striping.
+    pub fn layout(&self) -> &StripeLayout {
+        &self.layout
+    }
+
+    /// File size in bytes.
+    pub fn size(&self) -> u64 {
+        self.backend.size()
+    }
+}
+
+/// A simulated striped parallel file system.
+pub struct Pfs {
+    pool: OstPool,
+    files: RwLock<HashMap<String, Arc<FileHandle>>>,
+    fault: Option<FaultPlan>,
+    stats: PfsStats,
+}
+
+impl Pfs {
+    /// A file system with `total_osts` OSTs and the given disk model.
+    pub fn new(total_osts: usize, disk: DiskModel) -> Self {
+        Self {
+            pool: OstPool::new(total_osts, disk),
+            files: RwLock::new(HashMap::new()),
+            fault: None,
+            stats: PfsStats::default(),
+        }
+    }
+
+    /// Adds a transient-fault injection plan (see [`FaultPlan`]).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The fault plan, if any.
+    pub fn fault(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Number of OSTs.
+    pub fn ost_count(&self) -> usize {
+        self.pool.count()
+    }
+
+    /// Creates (or replaces) a file and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if the layout references OSTs outside the pool.
+    pub fn create(
+        &self,
+        name: &str,
+        layout: StripeLayout,
+        backend: Box<dyn Backend>,
+    ) -> Arc<FileHandle> {
+        assert!(
+            layout.osts.iter().all(|&o| o < self.pool.count()),
+            "layout references OSTs outside the pool of {}",
+            self.pool.count()
+        );
+        let handle = Arc::new(FileHandle {
+            name: name.to_string(),
+            layout,
+            backend,
+        });
+        self.files.write().insert(name.to_string(), Arc::clone(&handle));
+        handle
+    }
+
+    /// Opens an existing file.
+    pub fn open(&self, name: &str) -> Option<Arc<FileHandle>> {
+        self.files.read().get(name).cloned()
+    }
+
+    /// Reads `len` bytes at `offset`, requested at virtual time `now`.
+    /// Returns the data and the completion time. Extents on different OSTs
+    /// proceed in parallel; extents on the same OST queue.
+    pub fn read_at(
+        &self,
+        file: &FileHandle,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> (Vec<u8>, SimTime) {
+        assert!(
+            offset + len <= file.size(),
+            "read [{offset}, {}) beyond file '{}' of size {}",
+            offset + len,
+            file.name,
+            file.size()
+        );
+        let mut buf = vec![0u8; len as usize];
+        file.backend.read_into(offset, &mut buf);
+        let done = self.charge_io(file, offset, len, now);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
+        (buf, done)
+    }
+
+    /// Writes `data` at `offset`, requested at virtual time `now`. Returns
+    /// the completion time.
+    pub fn write_at(&self, file: &FileHandle, offset: u64, data: &[u8], now: SimTime) -> SimTime {
+        file.backend.write_at(offset, data);
+        let done = self.charge_io(file, offset, data.len() as u64, now);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        done
+    }
+
+    /// Charges the timing of one I/O call: transient-fault retries, then one
+    /// positioning op plus streaming per discontiguous object extent, with
+    /// OSTs in parallel and per-OST queueing.
+    fn charge_io(&self, file: &FileHandle, offset: u64, len: u64, now: SimTime) -> SimTime {
+        let mut start = now;
+        if let Some(plan) = &self.fault {
+            let mut tries = 0;
+            while plan.attempt_fails() {
+                tries += 1;
+                assert!(
+                    tries <= plan.max_retries,
+                    "read of '{}' failed permanently after {} retries",
+                    file.name,
+                    plan.max_retries
+                );
+                plan.note_retry();
+                start += plan.retry_penalty;
+            }
+        }
+        if len == 0 {
+            return start;
+        }
+        let mut done = start;
+        for (ost, extents) in file.layout.map_range_by_ost(offset, len) {
+            let mut ost_done = start;
+            for ext in &extents {
+                ost_done = self.pool.serve(ost, ost_done, ext.len);
+                self.stats.extents_served.fetch_add(1, Ordering::Relaxed);
+            }
+            done = done.max(ost_done);
+        }
+        done
+    }
+
+    /// A snapshot of the global counters.
+    pub fn stats(&self) -> PfsStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Per-OST (requests, bytes) served so far.
+    pub fn per_ost_totals(&self) -> Vec<(u64, u64)> {
+        self.pool.per_ost_totals()
+    }
+
+    /// Per-OST busy seconds (service time booked).
+    pub fn per_ost_busy_secs(&self) -> Vec<f64> {
+        self.pool.per_ost_busy_secs()
+    }
+
+    /// OST load imbalance: busiest over mean, 1.0 = balanced.
+    pub fn ost_imbalance(&self) -> f64 {
+        self.pool.imbalance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ElemKind, MemBackend, SyntheticBackend};
+
+    fn test_fs(osts: usize) -> Pfs {
+        Pfs::new(
+            osts,
+            DiskModel {
+                seek: 0.5,
+                ost_bandwidth: 1000.0,
+            },
+        )
+    }
+
+    fn mem_file(fs: &Pfs, size: usize, stripe: u64, count: usize) -> Arc<FileHandle> {
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        fs.create(
+            "f",
+            StripeLayout::round_robin(stripe, count, 0, fs.ost_count()),
+            Box::new(MemBackend::from_bytes(data)),
+        )
+    }
+
+    #[test]
+    fn read_returns_correct_bytes() {
+        let fs = test_fs(4);
+        let f = mem_file(&fs, 1000, 64, 4);
+        let (data, done) = fs.read_at(&f, 100, 200, SimTime::ZERO);
+        let expect: Vec<u8> = (100..300).map(|i| (i % 251) as u8).collect();
+        assert_eq!(data, expect);
+        assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn striped_read_is_faster_than_single_ost() {
+        // Same volume: 4-way striping splits streaming across OSTs.
+        let fs4 = test_fs(4);
+        let f4 = mem_file(&fs4, 8000, 1000, 4);
+        let (_, t4) = fs4.read_at(&f4, 0, 8000, SimTime::ZERO);
+
+        let fs1 = test_fs(4);
+        let f1 = mem_file(&fs1, 8000, 1000, 1);
+        let (_, t1) = fs1.read_at(&f1, 0, 8000, SimTime::ZERO);
+        assert!(
+            t4 < t1,
+            "striped read {t4} should beat single-OST {t1}"
+        );
+    }
+
+    #[test]
+    fn scattered_reads_pay_per_seek() {
+        // One contiguous 1000-byte read vs ten scattered 100-byte reads.
+        let fs = test_fs(1);
+        let f = mem_file(&fs, 10_000, 1 << 20, 1);
+        let (_, contiguous) = fs.read_at(&f, 0, 1000, SimTime::ZERO);
+        let fs2 = test_fs(1);
+        let f2 = mem_file(&fs2, 10_000, 1 << 20, 1);
+        let mut scattered = SimTime::ZERO;
+        for i in 0..10 {
+            let (_, t) = fs2.read_at(&f2, i * 1000, 100, scattered);
+            scattered = t;
+        }
+        // Contiguous: 1 seek + 1s. Scattered: 10 seeks + 1s.
+        assert!((contiguous.secs() - 1.5).abs() < 1e-9);
+        assert!((scattered.secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let fs = test_fs(2);
+        let f = fs.create(
+            "w",
+            StripeLayout::round_robin(8, 2, 0, 2),
+            Box::new(MemBackend::zeroed(64)),
+        );
+        fs.write_at(&f, 5, &[7, 8, 9], SimTime::ZERO);
+        let (data, _) = fs.read_at(&f, 4, 6, SimTime::ZERO);
+        assert_eq!(data, vec![0, 7, 8, 9, 0, 0]);
+    }
+
+    #[test]
+    fn synthetic_file_reads_through_fs() {
+        let fs = test_fs(3);
+        let f = fs.create(
+            "climate",
+            StripeLayout::round_robin(16, 3, 0, 3),
+            Box::new(SyntheticBackend::new(
+                1000,
+                ElemKind::F64,
+                crate::backend::default_climate_value,
+            )),
+        );
+        let (data, _) = fs.read_at(&f, 80, 16, SimTime::ZERO);
+        let v10 = f64::from_le_bytes(data[0..8].try_into().unwrap());
+        assert_eq!(v10, crate::backend::default_climate_value(10));
+    }
+
+    #[test]
+    fn open_finds_created_files() {
+        let fs = test_fs(1);
+        mem_file(&fs, 10, 4, 1);
+        assert!(fs.open("f").is_some());
+        assert!(fs.open("missing").is_none());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let fs = test_fs(2);
+        let f = mem_file(&fs, 100, 10, 2);
+        fs.read_at(&f, 0, 50, SimTime::ZERO);
+        let s = fs.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_read, 50);
+        assert!(s.extents_served >= 2);
+    }
+
+    #[test]
+    fn fault_injection_delays_but_preserves_data() {
+        let fs = test_fs(1).with_fault(FaultPlan::every(
+            2,
+            SimTime::from_secs(10.0),
+            3,
+        ));
+        let f = mem_file(&fs, 100, 64, 1);
+        let (d1, t1) = fs.read_at(&f, 0, 10, SimTime::ZERO); // attempt 1: ok
+        let (d2, t2) = fs.read_at(&f, 0, 10, SimTime::ZERO); // attempt 2 fails, 3 ok
+        assert_eq!(d1, d2);
+        assert!(t2 > t1 + SimTime::from_secs(9.0), "retry penalty missing");
+        assert_eq!(fs.fault().unwrap().retries(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_past_eof_panics() {
+        let fs = test_fs(1);
+        let f = mem_file(&fs, 100, 64, 1);
+        let _ = fs.read_at(&f, 90, 20, SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_length_read_is_free() {
+        let fs = test_fs(1);
+        let f = mem_file(&fs, 100, 64, 1);
+        let (d, t) = fs.read_at(&f, 50, 0, SimTime::from_secs(3.0));
+        assert!(d.is_empty());
+        assert_eq!(t.secs(), 3.0);
+    }
+}

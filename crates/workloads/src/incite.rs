@@ -1,0 +1,97 @@
+//! The INCITE application data requirements of the paper's Table I.
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InciteProject {
+    /// Project name.
+    pub project: &'static str,
+    /// On-line data in terabytes.
+    pub online_tb: f64,
+    /// Off-line data in terabytes.
+    pub offline_tb: f64,
+}
+
+/// Table I: data requirements of representative INCITE applications at
+/// ALCF (Ross et al., "Parallel I/O in practice", SC'08 tutorial).
+pub const INCITE_PROJECTS: &[InciteProject] = &[
+    InciteProject {
+        project: "FLASH: Buoyancy-Driven Turbulent Nuclear Burning",
+        online_tb: 75.0,
+        offline_tb: 300.0,
+    },
+    InciteProject {
+        project: "Reactor Core Hydrodynamics",
+        online_tb: 2.0,
+        offline_tb: 5.0,
+    },
+    InciteProject {
+        project: "Computational Nuclear Structure",
+        online_tb: 4.0,
+        offline_tb: 40.0,
+    },
+    InciteProject {
+        project: "Computational Protein Structure",
+        online_tb: 1.0,
+        offline_tb: 2.0,
+    },
+    InciteProject {
+        project: "Performance Evaluation and Analysis",
+        online_tb: 1.0,
+        offline_tb: 1.0,
+    },
+    InciteProject {
+        project: "Climate Science",
+        online_tb: 10.0,
+        offline_tb: 345.0,
+    },
+    InciteProject {
+        project: "Parkinson's Disease",
+        online_tb: 2.5,
+        offline_tb: 50.0,
+    },
+    InciteProject {
+        project: "Plasma Microturbulence",
+        online_tb: 2.0,
+        offline_tb: 10.0,
+    },
+    InciteProject {
+        project: "Lattice QCD",
+        online_tb: 1.0,
+        offline_tb: 44.0,
+    },
+    InciteProject {
+        project: "Thermal Striping in Sodium Cooled Reactors",
+        online_tb: 4.0,
+        offline_tb: 8.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_ten_projects() {
+        assert_eq!(INCITE_PROJECTS.len(), 10);
+    }
+
+    #[test]
+    fn offline_never_smaller_than_online() {
+        for p in INCITE_PROJECTS {
+            assert!(
+                p.offline_tb >= p.online_tb,
+                "{}: offline {} < online {}",
+                p.project,
+                p.offline_tb,
+                p.online_tb
+            );
+        }
+    }
+
+    #[test]
+    fn flash_matches_the_paper() {
+        let flash = &INCITE_PROJECTS[0];
+        assert_eq!(flash.online_tb, 75.0);
+        assert_eq!(flash.offline_tb, 300.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fault injection through the full stack: transient read failures are
+//! retried by the file system, results stay exact, and the retries cost
+//! virtual time — the substrate for the paper's "investigate fault
+//! tolerance" future work.
+
+use cc_array::Shape;
+use cc_core::{object_get_vara, ObjectIo, SumKernel};
+use cc_integration::{assert_close, test_model, test_value};
+use cc_model::{DiskModel, SimTime};
+use cc_mpi::World;
+use cc_pfs::backend::{ElemKind, SyntheticBackend};
+use cc_pfs::{FaultPlan, Pfs, StripeLayout};
+use std::sync::Arc;
+
+fn faulty_fs(fail_every: u64, elems: u64) -> Arc<Pfs> {
+    let fs = Pfs::new(4, DiskModel::lustre_like()).with_fault(FaultPlan::every(
+        fail_every,
+        SimTime::from_secs(0.05),
+        10,
+    ));
+    fs.create(
+        "t.nc",
+        StripeLayout::round_robin(1024, 4, 0, 4),
+        Box::new(SyntheticBackend::new(elems, ElemKind::F64, test_value)),
+    );
+    Arc::new(fs)
+}
+
+#[test]
+fn results_survive_transient_read_faults() {
+    let shape = Shape::new(vec![4, 64]);
+    let var = cc_array::Variable::new("v", shape.clone(), cc_array::DType::F64, 0);
+    let fs = faulty_fs(2, 256); // every second read attempt fails once
+    let world = World::new(4, test_model(2, 2));
+    let fs_ref = &fs;
+    let var = &var;
+    let results = world.run(move |comm| {
+        let file = fs_ref.open("t.nc").expect("exists");
+        let io = ObjectIo::new(vec![comm.rank() as u64, 0], vec![1, 64]).hints(
+            cc_mpiio::Hints {
+                cb_buffer_size: 256, // several chunks -> several read attempts
+                ..cc_mpiio::Hints::default()
+            },
+        );
+        object_get_vara(comm, fs_ref, &file, var, &io, &SumKernel)
+    });
+    let expect: f64 = (0..256).map(test_value).sum();
+    assert_close(
+        results.into_iter().find_map(|o| o.global).expect("root")[0],
+        expect,
+        "sum under faults",
+    );
+    let plan = fs.fault().expect("plan installed");
+    assert!(plan.retries() > 0, "faults should actually have fired");
+}
+
+#[test]
+fn faults_cost_virtual_time() {
+    let shape = Shape::new(vec![4, 64]);
+    let var = cc_array::Variable::new("v", shape.clone(), cc_array::DType::F64, 0);
+    let run = |fail_every: Option<u64>| {
+        let fs = match fail_every {
+            Some(k) => faulty_fs(k, 256),
+            None => {
+                let fs = Pfs::new(4, DiskModel::lustre_like());
+                fs.create(
+                    "t.nc",
+                    StripeLayout::round_robin(1024, 4, 0, 4),
+                    Box::new(SyntheticBackend::new(256, ElemKind::F64, test_value)),
+                );
+                Arc::new(fs)
+            }
+        };
+        let world = World::new(4, test_model(2, 2));
+        let fs = &fs;
+        let var = &var;
+        let ends = world.run(move |comm| {
+            let file = fs.open("t.nc").expect("exists");
+            let io = ObjectIo::new(vec![comm.rank() as u64, 0], vec![1, 64]);
+            object_get_vara(comm, fs, &file, var, &io, &SumKernel)
+                .report
+                .end
+        });
+        ends.into_iter().max().expect("nonempty")
+    };
+    let clean = run(None);
+    let faulty = run(Some(2));
+    assert!(
+        faulty > clean,
+        "faulty run {faulty} should cost more than clean {clean}"
+    );
+}
+
+#[test]
+#[should_panic]
+fn permanent_failure_aborts() {
+    // fail_every = 1: every attempt fails; retries exhaust.
+    let fs = Pfs::new(1, DiskModel::lustre_like()).with_fault(FaultPlan::every(
+        1,
+        SimTime::from_secs(0.01),
+        3,
+    ));
+    fs.create(
+        "t.nc",
+        StripeLayout::round_robin(1024, 1, 0, 1),
+        Box::new(SyntheticBackend::new(16, ElemKind::F64, test_value)),
+    );
+    let file = fs.open("t.nc").expect("exists");
+    let _ = fs.read_at(&file, 0, 64, SimTime::ZERO);
+}
