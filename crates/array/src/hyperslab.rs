@@ -193,7 +193,7 @@ impl StridedSlab {
         coords.len() == self.start.len()
             && coords.iter().enumerate().all(|(d, &c)| {
                 c >= self.start[d]
-                    && (c - self.start[d]) % self.stride[d] == 0
+                    && (c - self.start[d]).is_multiple_of(self.stride[d])
                     && (c - self.start[d]) / self.stride[d] < self.count[d]
             })
     }

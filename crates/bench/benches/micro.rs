@@ -4,6 +4,7 @@
 //! time.
 
 use cc_array::{construct_runs, DType, Hyperslab, Shape, Variable};
+use cc_bench::hotpath::{make_backend, run_after, run_before, HotPathConfig, HotPathScratch};
 use cc_core::{MapKernel, MinLocKernel, SumKernel};
 use cc_mpi::elem::{decode_vec, encode_slice};
 use cc_mpiio::{Extent, OffsetList};
@@ -87,12 +88,34 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
+fn bench_hotpath(c: &mut Criterion) {
+    // The fragmented generate→decode→map pipeline, before (seed: per-
+    // element generation, per-run decode allocation) and after (bulk
+    // fill_range, scratch-buffer decode_into) the zero-copy work.
+    let cfg = HotPathConfig {
+        runs: 1024,
+        run_elems: 64,
+        gap_elems: 192,
+    };
+    let backend = make_backend(&cfg);
+    let mut group = c.benchmark_group("generate_decode_map_64k_elems");
+    group.bench_function("before_per_element", |b| {
+        b.iter(|| black_box(run_before(black_box(&cfg), &backend, &SumKernel)))
+    });
+    let mut scratch = HotPathScratch::default();
+    group.bench_function("after_zero_copy", |b| {
+        b.iter(|| black_box(run_after(black_box(&cfg), &backend, &SumKernel, &mut scratch)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_flatten,
     bench_locate,
     bench_construct_runs,
     bench_kernels,
-    bench_codec
+    bench_codec,
+    bench_hotpath
 );
 criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Measures the generate→decode→map hot path before and after the
+//! zero-copy optimizations and writes `BENCH_hotpath.json` so the perf
+//! trajectory is tracked from PR 1 on.
+//!
+//! "Before" is the seed pipeline kept verbatim in `cc_bench::hotpath`
+//! (per-element generation, fresh chunk and per-run decode allocations);
+//! "after" is the current stack (bulk `fill_range`, scratch-buffer
+//! `decode_into`). A counting global allocator verifies the after-path's
+//! steady state performs no per-pass heap allocation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cc_bench::hotpath::{make_backend, run_after, run_before, HotPathConfig, HotPathScratch};
+use cc_core::{MapKernel, SumKernel};
+
+/// `System`, with every allocation counted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let start = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - start
+}
+
+fn main() {
+    // The paper's fine-grained interleaved pattern: many small runs.
+    let cfg = HotPathConfig {
+        runs: 4096,
+        run_elems: 64,
+        gap_elems: 192,
+    };
+    let backend = make_backend(&cfg);
+    let kernel: &dyn MapKernel = &SumKernel;
+    let passes = 40u32;
+
+    // Correctness gate: both variants must agree bit-for-bit.
+    let mut scratch = HotPathScratch::default();
+    let before_acc = run_before(&cfg, &backend, kernel);
+    let after_acc = run_after(&cfg, &backend, kernel, &mut scratch);
+    assert_eq!(before_acc, after_acc, "pipelines diverged");
+
+    // Warm up, then count steady-state allocations of one pass each.
+    let before_allocs = allocs_during(|| {
+        std::hint::black_box(run_before(&cfg, &backend, kernel));
+    });
+    let after_allocs = allocs_during(|| {
+        std::hint::black_box(run_after(&cfg, &backend, kernel, &mut scratch));
+    });
+
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..passes {
+            f();
+        }
+        t.elapsed().as_secs_f64() / passes as f64
+    };
+    let before_secs = time(&mut || {
+        std::hint::black_box(run_before(&cfg, &backend, kernel));
+    });
+    let after_secs = time(&mut || {
+        std::hint::black_box(run_after(&cfg, &backend, kernel, &mut scratch));
+    });
+
+    let elems = cfg.total_elems() as f64;
+    let before_eps = elems / before_secs;
+    let after_eps = elems / after_secs;
+    let speedup = after_eps / before_eps;
+
+    let json = format!(
+        "{{\n  \"bench\": \"generate_decode_map\",\n  \"runs\": {},\n  \"run_elems\": {},\n  \"elements_per_pass\": {},\n  \"before\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"after\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"speedup\": {:.2}\n}}\n",
+        cfg.runs,
+        cfg.run_elems,
+        cfg.total_elems(),
+        before_secs,
+        before_eps,
+        before_allocs,
+        after_secs,
+        after_eps,
+        after_allocs,
+        speedup,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    eprintln!(
+        "speedup {speedup:.2}x, steady-state allocs/pass: before {before_allocs}, after {after_allocs}"
+    );
+}

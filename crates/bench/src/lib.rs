@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod figs;
+pub mod hotpath;
 pub mod runner;
 
 pub use ablations::*;

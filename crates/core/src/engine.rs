@@ -27,6 +27,7 @@ use crate::baseline::{map_buffer, traditional_get_vara_partial};
 use crate::intermediate::IntermediateSet;
 use crate::kernel::{MapKernel, Partial, PartialReduceOp};
 use crate::object::{IoMode, ObjectIo, ReduceMode};
+use crate::scratch::Scratch;
 
 /// Tag for intermediate-result messages.
 const TAG_RESULTS: TagValue = 0x4000_0001;
@@ -164,20 +165,21 @@ fn run_independent(
         start: comm.clock(),
         ..CcReport::default()
     };
+    let mut scratch = Scratch::new();
     let request = var.byte_extents(slab);
     let (bytes, io_rep) = independent_read(comm, pfs, file, &request);
     report.bytes_read = io_rep.bytes_read;
     report
         .segments
         .push(Segment::new(report.start, comm.clock(), Activity::Wait));
-    let values = var.dtype().decode(&bytes);
+    var.dtype().decode_into(&bytes, &mut scratch.values);
     let compute_start = comm.clock();
-    let partial = map_buffer(var, slab, kernel, &values);
+    let partial = map_buffer(var, slab, kernel, &scratch.values);
     comm.advance(comm.model().cpu.map_time(bytes.len()));
     report
         .segments
         .push(Segment::new(compute_start, comm.clock(), Activity::User));
-    let global = final_reduce(comm, kernel, &partial, io.reduce.root());
+    let global = final_reduce(comm, kernel, &partial, io.reduce.root(), &mut scratch);
     report.end = comm.clock();
     CcOutcome {
         my_result: Some(kernel.finalize(&partial)),
@@ -218,6 +220,9 @@ fn run_collective_computing(
     let plan = CollectivePlan::build(requests, &topology, comm.nprocs(), &hints);
 
     // --- Phase 1 + map: the aggregator pipeline (paper Fig. 7). ---------
+    // One scratch arena serves the whole operation: chunk bytes, decoded
+    // values, and shuffle words all reuse their high-water allocations.
+    let mut scratch = Scratch::new();
     let mut inter = IntermediateSet::new();
     let mut agg_done = comm.clock();
     if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
@@ -231,6 +236,7 @@ fn run_collective_computing(
             &hints,
             kernel,
             &mut inter,
+            &mut scratch,
             &mut report,
         );
     }
@@ -239,12 +245,26 @@ fn run_collective_computing(
 
     // --- Phase 2: shuffle of intermediate results + reduce. -------------
     let outcome = match io.reduce {
-        ReduceMode::AllToOne { root } => {
-            reduce_all_to_one(comm, kernel, &plan, &inter, agg_done, root, &mut report)
-        }
-        ReduceMode::AllToAll { root } => {
-            reduce_all_to_all(comm, kernel, &plan, &inter, agg_done, root, &mut report)
-        }
+        ReduceMode::AllToOne { root } => reduce_all_to_one(
+            comm,
+            kernel,
+            &plan,
+            &inter,
+            agg_done,
+            root,
+            &mut scratch,
+            &mut report,
+        ),
+        ReduceMode::AllToAll { root } => reduce_all_to_all(
+            comm,
+            kernel,
+            &plan,
+            &inter,
+            agg_done,
+            root,
+            &mut scratch,
+            &mut report,
+        ),
     };
     report.end = comm.clock();
     CcOutcome {
@@ -277,6 +297,7 @@ fn run_map_pipeline(
     hints: &Hints,
     kernel: &dyn MapKernel,
     inter: &mut IntermediateSet,
+    scratch: &mut Scratch,
     report: &mut CcReport,
 ) -> SimTime {
     let cpu = comm.model().cpu.clone();
@@ -302,7 +323,7 @@ fn run_map_pipeline(
             continue;
         };
         let ready = io_lane.free_at();
-        let (chunk, read_done) = pfs.read_at(file, rlo, rhi - rlo, ready);
+        let read_done = pfs.read_at_into(file, rlo, rhi - rlo, ready, &mut scratch.bytes);
         io_lane.advance_to(read_done);
         report.bytes_read += rhi - rlo;
         report
@@ -320,8 +341,11 @@ fn run_map_pipeline(
             for run in &runs {
                 let off = (var.byte_of_elem(run.start_elem) - rlo) as usize;
                 let len = run.len as usize * esize;
-                let values = var.dtype().decode(&chunk[off..off + len]);
-                kernel.map(acc, run.start_elem, &values);
+                // Decode into the reused scratch slice: the kernel folds
+                // over `&[f64]` with no per-run allocation.
+                var.dtype()
+                    .decode_into(&scratch.bytes[off..off + len], &mut scratch.values);
+                kernel.map(acc, run.start_elem, &scratch.values);
                 mapped_bytes += len;
                 entries += 1;
                 meta_bytes += run.metadata_bytes(var);
@@ -357,6 +381,7 @@ fn run_map_pipeline(
 
 /// All-to-one reduce: every active aggregator ships its whole intermediate
 /// set to `root`; the root constructs per-owner results and reduces them.
+#[allow(clippy::too_many_arguments)]
 fn reduce_all_to_one(
     comm: &mut Comm,
     kernel: &dyn MapKernel,
@@ -364,6 +389,7 @@ fn reduce_all_to_one(
     inter: &IntermediateSet,
     agg_done: SimTime,
     root: usize,
+    scratch: &mut Scratch,
     report: &mut CcReport,
 ) -> ReduceOutcome {
     let cpu = comm.model().cpu.clone();
@@ -372,13 +398,16 @@ fn reduce_all_to_one(
         .map(|a| plan.aggregators[a])
         .collect();
 
-    // Sender side (aggregators).
+    // Sender side (aggregators): serialize into the scratch word buffer,
+    // then onto a pooled wire buffer.
     let mut done = agg_done;
     if active.contains(&comm.rank()) && comm.rank() != root {
-        let words = inter.encode_all();
-        report.result_words_shuffled += words.len() as u64;
-        let depart = agg_done + cpu.memcpy_time(words.len() * 8) + comm.model().net.send_cost();
-        let bytes = cc_mpi::elem::encode_slice(&words);
+        inter.encode_all_into(&mut scratch.words);
+        report.result_words_shuffled += scratch.words.len() as u64;
+        let depart =
+            agg_done + cpu.memcpy_time(scratch.words.len() * 8) + comm.model().net.send_cost();
+        let mut bytes = comm.take_buf();
+        cc_mpi::elem::encode_slice_into(&scratch.words, &mut bytes);
         comm.post_bytes_at(root, TAG_RESULTS, bytes, depart);
         done = done.max(depart);
     }
@@ -396,17 +425,16 @@ fn reduce_all_to_one(
             }
         };
         let mut combines = 0u64;
-        absorb(
-            IntermediateSet::decode(&inter.encode_all()),
-            &mut combines,
-        );
+        inter.encode_all_into(&mut scratch.words);
+        absorb(IntermediateSet::decode(&scratch.words), &mut combines);
         for &agg in &active {
             if agg == root {
                 continue;
             }
             let (bytes, info) = comm.recv_bytes_no_clock(agg, TAG_RESULTS);
-            let words: Vec<u64> = cc_mpi::elem::decode_vec(&bytes);
-            absorb(IntermediateSet::decode(&words), &mut combines);
+            cc_mpi::elem::decode_into(&bytes, &mut scratch.words);
+            comm.recycle_buf(bytes);
+            absorb(IntermediateSet::decode(&scratch.words), &mut combines);
             done = done.max(info.arrival);
         }
         let reduce_start = done;
@@ -437,6 +465,7 @@ fn reduce_all_to_one(
 
 /// All-to-all reduce: each aggregator ships each owner its partial; owners
 /// reduce locally, then a tree reduce produces the global result at `root`.
+#[allow(clippy::too_many_arguments)]
 fn reduce_all_to_all(
     comm: &mut Comm,
     kernel: &dyn MapKernel,
@@ -444,24 +473,29 @@ fn reduce_all_to_all(
     inter: &IntermediateSet,
     agg_done: SimTime,
     root: usize,
+    scratch: &mut Scratch,
     report: &mut CcReport,
 ) -> ReduceOutcome {
     let cpu = comm.model().cpu.clone();
 
-    // Sender side: one small message per owner with data in my domain.
+    // Sender side: one small message per owner with data in my domain,
+    // serialized through the scratch words and a pooled wire buffer.
     let mut shuffle_lane = Lane::free_from(agg_done);
-    for owner in inter.owners() {
+    let owners: Vec<usize> = inter.owners().collect();
+    for owner in owners {
         if owner == comm.rank() {
             continue;
         }
-        let words = inter.encode_owner(owner);
-        report.result_words_shuffled += words.len() as u64;
+        inter.encode_owner_into(owner, &mut scratch.words);
+        report.result_words_shuffled += scratch.words.len() as u64;
         let same_node = comm.model().topology.same_node(comm.rank(), owner);
-        let cost = cpu.memcpy_time(words.len() * 8)
+        let cost = cpu.memcpy_time(scratch.words.len() * 8)
             + comm.model().net.send_cost()
-            + comm.model().net.wire_time(words.len() * 8, same_node);
+            + comm.model().net.wire_time(scratch.words.len() * 8, same_node);
         let depart = shuffle_lane.acquire(agg_done, cost);
-        comm.post_bytes_at(owner, TAG_RESULTS, cc_mpi::elem::encode_slice(&words), depart);
+        let mut bytes = comm.take_buf();
+        cc_mpi::elem::encode_slice_into(&scratch.words, &mut bytes);
+        comm.post_bytes_at(owner, TAG_RESULTS, bytes, depart);
     }
     let mut done = agg_done.max(shuffle_lane.free_at());
 
@@ -482,8 +516,9 @@ fn reduce_all_to_all(
     let mut combines = 0usize;
     for src in my_senders {
         let (bytes, info) = comm.recv_bytes_no_clock(src, TAG_RESULTS);
-        let words: Vec<u64> = cc_mpi::elem::decode_vec(&bytes);
-        for (owner, p) in IntermediateSet::decode(&words) {
+        cc_mpi::elem::decode_into(&bytes, &mut scratch.words);
+        comm.recycle_buf(bytes);
+        for (owner, p) in IntermediateSet::decode(&scratch.words) {
             assert_eq!(owner, comm.rank(), "misrouted intermediate result");
             kernel.combine(&mut mine, &p);
             combines += 1;
@@ -496,7 +531,7 @@ fn reduce_all_to_all(
     comm.advance_to(done);
 
     // Final global reduce over the per-rank results.
-    let global = final_reduce(comm, kernel, &mine, root);
+    let global = final_reduce(comm, kernel, &mine, root, scratch);
     (Some(kernel.finalize(&mine)), None, global)
 }
 
@@ -507,8 +542,11 @@ fn final_reduce(
     kernel: &dyn MapKernel,
     partial: &Partial,
     root: usize,
+    scratch: &mut Scratch,
 ) -> Option<Partial> {
-    comm.reduce(root, &partial.to_words(), &PartialReduceOp(kernel))
+    scratch.words.clear();
+    partial.write_words_into(&mut scratch.words);
+    comm.reduce(root, &scratch.words, &PartialReduceOp(kernel))
         .map(|words| Partial::from_words(&words).0)
 }
 

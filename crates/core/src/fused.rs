@@ -82,20 +82,56 @@ impl MapKernel for FusedKernel<'_> {
     }
 
     fn map(&self, acc: &mut Partial, start_elem: u64, values: &[f64]) {
-        let mut parts = self.split(acc);
-        for (p, k) in parts.iter_mut().zip(&self.components) {
-            k.map(p, start_elem, values);
+        // Walk the fused layout in place: each component's slot is staged
+        // through one reused scratch partial instead of splitting and
+        // repacking the whole accumulator per call.
+        let mut tmp = Partial::new(Vec::new());
+        let mut pos = 0usize;
+        let mut max_count = 0u64;
+        for k in &self.components {
+            let len = acc.values[pos] as usize;
+            tmp.count = acc.values[pos + 1] as u64;
+            tmp.values.clear();
+            tmp.values.extend_from_slice(&acc.values[pos + 2..pos + 2 + len]);
+            k.map(&mut tmp, start_elem, values);
+            assert_eq!(tmp.values.len(), len, "component changed partial shape");
+            acc.values[pos + 1] = tmp.count as f64;
+            acc.values[pos + 2..pos + 2 + len].copy_from_slice(&tmp.values);
+            max_count = max_count.max(tmp.count);
+            pos += 2 + len;
         }
-        *acc = self.pack(&parts);
+        assert_eq!(pos, acc.values.len(), "fused partial shape mismatch");
+        acc.count = max_count;
     }
 
     fn combine(&self, acc: &mut Partial, other: &Partial) {
-        let mut parts = self.split(acc);
-        let other_parts = self.split(other);
-        for ((p, o), k) in parts.iter_mut().zip(&other_parts).zip(&self.components) {
-            k.combine(p, o);
+        let mut tmp = Partial::new(Vec::new());
+        let mut tmp_other = Partial::new(Vec::new());
+        let mut pos = 0usize;
+        let mut max_count = 0u64;
+        for k in &self.components {
+            let len = acc.values[pos] as usize;
+            assert_eq!(
+                len, other.values[pos] as usize,
+                "fused partial shape mismatch"
+            );
+            tmp.count = acc.values[pos + 1] as u64;
+            tmp.values.clear();
+            tmp.values.extend_from_slice(&acc.values[pos + 2..pos + 2 + len]);
+            tmp_other.count = other.values[pos + 1] as u64;
+            tmp_other.values.clear();
+            tmp_other
+                .values
+                .extend_from_slice(&other.values[pos + 2..pos + 2 + len]);
+            k.combine(&mut tmp, &tmp_other);
+            assert_eq!(tmp.values.len(), len, "component changed partial shape");
+            acc.values[pos + 1] = tmp.count as f64;
+            acc.values[pos + 2..pos + 2 + len].copy_from_slice(&tmp.values);
+            max_count = max_count.max(tmp.count);
+            pos += 2 + len;
         }
-        *acc = self.pack(&parts);
+        assert_eq!(pos, acc.values.len(), "fused partial shape mismatch");
+        acc.count = max_count;
     }
 
     fn finalize(&self, acc: &Partial) -> Vec<f64> {

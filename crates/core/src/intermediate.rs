@@ -64,24 +64,45 @@ impl IntermediateSet {
 
     /// Serializes all (owner, partial) pairs: `[n, owner, partial...]*`.
     pub fn encode_all(&self) -> Vec<u64> {
-        let mut out = vec![self.by_owner.len() as u64];
+        let mut out = Vec::new();
+        self.encode_all_into(&mut out);
+        out
+    }
+
+    /// [`encode_all`](Self::encode_all) into a caller-owned buffer, cleared
+    /// and sized in one reservation, so the shuffle path serializes the
+    /// whole set without reallocating.
+    pub fn encode_all_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        let total: usize = self.by_owner.values().map(|p| 1 + p.words_len()).sum();
+        out.reserve(1 + total);
+        out.push(self.by_owner.len() as u64);
         for (owner, p) in &self.by_owner {
             out.push(*owner as u64);
-            out.extend(p.to_words());
+            p.write_words_into(out);
         }
-        out
     }
 
     /// Serializes just `owner`'s entry (for all-to-all shuffling); empty
     /// vector if absent.
     pub fn encode_owner(&self, owner: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.encode_owner_into(owner, &mut out);
+        out
+    }
+
+    /// [`encode_owner`](Self::encode_owner) into a caller-owned buffer,
+    /// cleared first.
+    pub fn encode_owner_into(&self, owner: usize, out: &mut Vec<u64>) {
+        out.clear();
         match self.by_owner.get(&owner) {
             Some(p) => {
-                let mut out = vec![1u64, owner as u64];
-                out.extend(p.to_words());
-                out
+                out.reserve(2 + p.words_len());
+                out.push(1);
+                out.push(owner as u64);
+                p.write_words_into(out);
             }
-            None => vec![0u64],
+            None => out.push(0),
         }
     }
 

@@ -30,11 +30,24 @@ impl Partial {
 
     /// Serializes to words (bit-exact) for the wire: `[count, n, bits...]`.
     pub fn to_words(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.values.len() + 2);
+        let mut out = Vec::with_capacity(self.words_len());
+        self.write_words_into(&mut out);
+        out
+    }
+
+    /// Words [`to_words`](Self::to_words) produces for this partial.
+    pub fn words_len(&self) -> usize {
+        self.values.len() + 2
+    }
+
+    /// Appends the wire encoding to `out` without clearing it, so callers
+    /// batch many partials into one reused buffer. Identical output to
+    /// [`to_words`](Self::to_words).
+    pub fn write_words_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.words_len());
         out.push(self.count);
         out.push(self.values.len() as u64);
         out.extend(self.values.iter().map(|v| v.to_bits()));
-        out
     }
 
     /// Deserializes [`to_words`](Self::to_words) output; returns the partial
@@ -116,11 +129,14 @@ impl MapKernel for MinKernel {
     }
 
     fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        // Fold in a register, not through the Vec: one store per run.
+        let mut best = acc.values[0];
         for &v in values {
-            if v < acc.values[0] {
-                acc.values[0] = v;
+            if v < best {
+                best = v;
             }
         }
+        acc.values[0] = best;
         acc.count += values.len() as u64;
     }
 
@@ -149,11 +165,13 @@ impl MapKernel for MaxKernel {
     }
 
     fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        let mut best = acc.values[0];
         for &v in values {
-            if v > acc.values[0] {
-                acc.values[0] = v;
+            if v > best {
+                best = v;
             }
         }
+        acc.values[0] = best;
         acc.count += values.len() as u64;
     }
 
@@ -240,13 +258,20 @@ impl MapKernel for MinLocKernel {
     }
 
     fn map(&self, acc: &mut Partial, start_elem: u64, values: &[f64]) {
-        for (i, &v) in values.iter().enumerate() {
-            let idx = (start_elem + i as u64) as f64;
-            if v < acc.values[0] || (v == acc.values[0] && idx < acc.values[1]) {
-                acc.values[0] = v;
-                acc.values[1] = idx;
+        // A running f64 index replaces per-element integer→float
+        // conversion; exact for indices below 2^53, same as the cast.
+        let mut best = acc.values[0];
+        let mut best_idx = acc.values[1];
+        let mut idx = start_elem as f64;
+        for &v in values {
+            if v < best || (v == best && idx < best_idx) {
+                best = v;
+                best_idx = idx;
             }
+            idx += 1.0;
         }
+        acc.values[0] = best;
+        acc.values[1] = best_idx;
         acc.count += values.len() as u64;
     }
 
@@ -281,13 +306,18 @@ impl MapKernel for MaxLocKernel {
     }
 
     fn map(&self, acc: &mut Partial, start_elem: u64, values: &[f64]) {
-        for (i, &v) in values.iter().enumerate() {
-            let idx = (start_elem + i as u64) as f64;
-            if v > acc.values[0] || (v == acc.values[0] && idx < acc.values[1]) {
-                acc.values[0] = v;
-                acc.values[1] = idx;
+        let mut best = acc.values[0];
+        let mut best_idx = acc.values[1];
+        let mut idx = start_elem as f64;
+        for &v in values {
+            if v > best || (v == best && idx < best_idx) {
+                best = v;
+                best_idx = idx;
             }
+            idx += 1.0;
         }
+        acc.values[0] = best;
+        acc.values[1] = best_idx;
         acc.count += values.len() as u64;
     }
 
@@ -321,10 +351,14 @@ impl MapKernel for SumSqKernel {
     }
 
     fn map(&self, acc: &mut Partial, _start_elem: u64, values: &[f64]) {
+        let mut sum = acc.values[0];
+        let mut sumsq = acc.values[1];
         for &v in values {
-            acc.values[0] += v;
-            acc.values[1] += v * v;
+            sum += v;
+            sumsq += v * v;
         }
+        acc.values[0] = sum;
+        acc.values[1] = sumsq;
         acc.count += values.len() as u64;
     }
 
@@ -356,7 +390,12 @@ impl ReduceOp<u64> for PartialReduceOp<'_> {
         assert_eq!(used_a, acc.len(), "partial word length mismatch");
         assert_eq!(used_b, incoming.len(), "partial word length mismatch");
         self.0.combine(&mut a, &b);
-        acc.copy_from_slice(&a.to_words());
+        assert_eq!(a.words_len(), acc.len(), "combine changed partial shape");
+        acc[0] = a.count;
+        acc[1] = a.values.len() as u64;
+        for (slot, v) in acc[2..].iter_mut().zip(&a.values) {
+            *slot = v.to_bits();
+        }
     }
 }
 

@@ -32,6 +32,7 @@ pub mod intermediate;
 pub mod iterative;
 pub mod kernel;
 pub mod object;
+pub mod scratch;
 
 pub use baseline::{traditional_get_vara, traditional_get_vara_partial, BaselineReport};
 pub use iterative::{iterative_get_vara, IterativeOutcome};
@@ -43,3 +44,4 @@ pub use kernel::{
     Partial, SumKernel, SumSqKernel,
 };
 pub use object::{IoMode, ObjectIo, ReduceMode};
+pub use scratch::Scratch;

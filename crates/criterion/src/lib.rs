@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this workspace ships
+//! a small wall-clock benchmark harness with the slice of criterion's API
+//! our benches use: [`Criterion::bench_function`], benchmark groups,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Like the real criterion, running the bench binary *without* the
+//! `--bench` flag (what `cargo test` does for `harness = false` targets)
+//! executes each benchmark body once as a smoke test; `cargo bench` passes
+//! `--bench` and triggers full measurement. Measurements are
+//! median-of-samples wall time; results print as `name  time: <t>/iter`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark in full mode.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to each group function.
+pub struct Criterion {
+    mode: Mode,
+    default_samples: usize,
+    filter: Option<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One un-timed pass per benchmark (running under `cargo test`).
+    Smoke,
+    /// Full measurement (running under `cargo bench`).
+    Measure,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--bench") {
+            Mode::Measure
+        } else {
+            Mode::Smoke
+        };
+        // First free argument (if any) filters benchmarks by substring,
+        // mirroring `cargo bench -- <filter>`.
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Self {
+            mode,
+            default_samples: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs (or smoke-tests) one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_named(name, self.default_samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+
+    fn run_named<F>(&self, name: &str, samples: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            samples,
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        if self.mode == Mode::Measure {
+            println!("{name:<48} time: {}/iter", fmt_duration(b.per_iter));
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-count override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name` in the output).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.samples.unwrap_or(self.parent.default_samples);
+        self.parent.run_named(&full, samples, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, calling it in batches until the target measurement
+    /// time is covered; records the median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Calibrate a batch size so one sample takes a measurable slice.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_MEASURE / (self.samples as u32 * 2).max(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch = (batch * 2).max((batch as f64 * 1.5) as u64 + 1);
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed() / batch as u32
+            })
+            .collect();
+        times.sort_unstable();
+        self.per_iter = times[times.len() / 2];
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            samples: 10,
+            per_iter: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn format_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

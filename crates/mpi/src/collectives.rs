@@ -85,9 +85,12 @@ impl Comm {
             }
             bit >>= 1;
         }
-        // Send to the largest subtree first (standard order).
+        // Send to the largest subtree first (standard order); each copy
+        // rides a pooled buffer.
         for child in children {
-            self.send_bytes(child, tag, payload.clone());
+            let mut buf = self.take_buf();
+            buf.extend_from_slice(&payload);
+            self.send_bytes(child, tag, buf);
         }
         payload
     }
@@ -95,7 +98,9 @@ impl Comm {
     /// Typed broadcast: `data` is ignored on non-roots.
     pub fn bcast<T: Elem>(&mut self, root: usize, data: Option<&[T]>) -> Vec<T> {
         let bytes = self.bcast_bytes(root, data.map(crate::elem::encode_slice));
-        crate::elem::decode_vec(&bytes)
+        let out = crate::elem::decode_vec(&bytes);
+        self.recycle_buf(bytes);
+        out
     }
 
     /// Flat gather of variable-length contributions to `root`. Returns
@@ -164,15 +169,24 @@ impl Comm {
         recvs
     }
 
-    /// Typed all-to-all exchange.
+    /// Typed all-to-all exchange. Wire buffers come from and return to the
+    /// per-rank pool.
     pub fn alltoallv<T: Elem>(&mut self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let bytes = sends
             .iter()
-            .map(|v| crate::elem::encode_slice(v))
+            .map(|v| {
+                let mut buf = self.take_buf();
+                crate::elem::encode_slice_into(v, &mut buf);
+                buf
+            })
             .collect();
         self.alltoallv_bytes(bytes)
             .into_iter()
-            .map(|b| crate::elem::decode_vec(&b))
+            .map(|b| {
+                let data = crate::elem::decode_vec(&b);
+                self.recycle_buf(b);
+                data
+            })
             .collect()
     }
 

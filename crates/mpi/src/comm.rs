@@ -13,9 +13,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cc_model::{ClusterModel, SimTime};
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
-use crate::elem::{decode_vec, encode_slice, Elem};
+use crate::elem::{decode_vec, encode_slice_into, Elem};
+use crate::pool::BufferPool;
 use crate::stats::CommStats;
 
 /// Message tag. Values with the top bit set are reserved for collectives.
@@ -104,6 +105,7 @@ pub struct Comm {
     shared: Arc<Shared>,
     clock: SimTime,
     stats: CommStats,
+    pool: BufferPool,
     pub(crate) collective_seq: u32,
 }
 
@@ -115,8 +117,27 @@ impl Comm {
             shared,
             clock: SimTime::ZERO,
             stats: CommStats::default(),
+            pool: BufferPool::new(),
             collective_seq: 0,
         }
+    }
+
+    /// An empty byte buffer from this rank's recycle pool. Fill it and hand
+    /// it to [`send_bytes`](Self::send_bytes)/
+    /// [`post_bytes_at`](Self::post_bytes_at); the receiving rank recycles
+    /// it after decoding.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.take()
+    }
+
+    /// Returns a finished payload buffer to this rank's recycle pool.
+    pub fn recycle_buf(&mut self, buf: Vec<u8>) {
+        self.pool.put(buf);
+    }
+
+    /// `(buffers handed out, of which reused)` from this rank's pool.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
     }
 
     /// This rank's id in `0..nprocs`.
@@ -185,7 +206,7 @@ impl Comm {
             payload,
         };
         let mailbox = &self.shared.mailboxes[dst];
-        mailbox.queue.lock().push_back(env);
+        mailbox.queue.lock().unwrap().push_back(env);
         mailbox.arrived.notify_all();
         arrival
     }
@@ -208,7 +229,7 @@ impl Comm {
     ) -> (Vec<u8>, RecvInfo) {
         let src = src.into();
         let mailbox = &self.shared.mailboxes[self.rank];
-        let mut queue = mailbox.queue.lock();
+        let mut queue = mailbox.queue.lock().unwrap();
         loop {
             if let Some(pos) = queue.iter().position(|e| e.matches(src, tag)) {
                 let env = queue.remove(pos).expect("position is in range");
@@ -221,11 +242,12 @@ impl Comm {
                 };
                 return (env.payload, info);
             }
-            let timed_out = mailbox
+            let (guard, timeout) = mailbox
                 .arrived
-                .wait_for(&mut queue, RECV_WATCHDOG)
-                .timed_out();
-            if timed_out {
+                .wait_timeout(queue, RECV_WATCHDOG)
+                .expect("mailbox mutex poisoned");
+            queue = guard;
+            if timeout.timed_out() {
                 panic!(
                     "rank {} deadlocked waiting for src={src:?} tag={tag:#x} \
                      ({} messages pending, none match)",
@@ -245,7 +267,7 @@ impl Comm {
     ) -> Option<(Vec<u8>, RecvInfo)> {
         let src = src.into();
         let mailbox = &self.shared.mailboxes[self.rank];
-        let mut queue = mailbox.queue.lock();
+        let mut queue = mailbox.queue.lock().unwrap();
         let pos = queue.iter().position(|e| e.matches(src, tag))?;
         let env = queue.remove(pos).expect("position is in range");
         drop(queue);
@@ -260,10 +282,13 @@ impl Comm {
         Some((env.payload, info))
     }
 
-    /// Typed send: encodes `data` and sends it. Sends are always eager
-    /// and buffered, so this is also the non-blocking `MPI_Isend`.
+    /// Typed send: encodes `data` into a pooled buffer and sends it. Sends
+    /// are always eager and buffered, so this is also the non-blocking
+    /// `MPI_Isend`.
     pub fn send<T: Elem>(&mut self, dst: usize, tag: TagValue, data: &[T]) {
-        self.send_bytes(dst, tag, encode_slice(data));
+        let mut buf = self.pool.take();
+        encode_slice_into(data, &mut buf);
+        self.send_bytes(dst, tag, buf);
     }
 
     /// Posts a non-blocking receive. The returned request completes via
@@ -275,10 +300,13 @@ impl Comm {
         }
     }
 
-    /// Typed receive: blocks for a matching message and decodes it.
+    /// Typed receive: blocks for a matching message, decodes it, and
+    /// recycles the payload buffer into this rank's pool.
     pub fn recv<T: Elem>(&mut self, src: impl Into<Source>, tag: TagValue) -> (Vec<T>, RecvInfo) {
         let (bytes, info) = self.recv_bytes(src, tag);
-        (decode_vec(&bytes), info)
+        let data = decode_vec(&bytes);
+        self.pool.put(bytes);
+        (data, info)
     }
 }
 
@@ -300,7 +328,11 @@ impl RecvRequest {
     /// request back if no matching message is queued yet.
     pub fn test<T: Elem>(self, comm: &mut Comm) -> Result<(Vec<T>, RecvInfo), RecvRequest> {
         match comm.try_recv_bytes(self.src, self.tag) {
-            Some((bytes, info)) => Ok((decode_vec(&bytes), info)),
+            Some((bytes, info)) => {
+                let data = decode_vec(&bytes);
+                comm.recycle_buf(bytes);
+                Ok((data, info))
+            }
             None => Err(self),
         }
     }

@@ -39,11 +39,20 @@ impl_elem!(f32, f64, u8, u16, u32, u64, i8, i16, i32, i64);
 
 /// Encodes a slice of elements into a fresh byte vector.
 pub fn encode_slice<T: Elem>(data: &[T]) -> Vec<u8> {
-    let mut out = vec![0u8; data.len() * T::SIZE];
+    let mut out = Vec::new();
+    encode_slice_into(data, &mut out);
+    out
+}
+
+/// Encodes into a caller-owned buffer, clearing it first. Hot paths pair
+/// this with a recycled buffer (see `pool::BufferPool`) so steady-state
+/// encoding does no allocation.
+pub fn encode_slice_into<T: Elem>(data: &[T], out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(data.len() * T::SIZE, 0);
     for (chunk, v) in out.chunks_exact_mut(T::SIZE).zip(data) {
         v.write_le(chunk);
     }
-    out
 }
 
 /// Decodes a byte buffer produced by [`encode_slice`].
@@ -51,13 +60,26 @@ pub fn encode_slice<T: Elem>(data: &[T]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of the element size.
 pub fn decode_vec<T: Elem>(bytes: &[u8]) -> Vec<T> {
+    let mut out = Vec::new();
+    decode_into(bytes, &mut out);
+    out
+}
+
+/// Decodes into a caller-owned buffer, clearing it first — the scratch
+/// counterpart of [`encode_slice_into`].
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of the element size.
+pub fn decode_into<T: Elem>(bytes: &[u8], out: &mut Vec<T>) {
     assert!(
         bytes.len().is_multiple_of(T::SIZE),
         "byte buffer of length {} is not a whole number of {}-byte elements",
         bytes.len(),
         T::SIZE
     );
-    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+    out.clear();
+    out.reserve(bytes.len() / T::SIZE);
+    out.extend(bytes.chunks_exact(T::SIZE).map(T::read_le));
 }
 
 #[cfg(test)]

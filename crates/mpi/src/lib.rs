@@ -28,11 +28,13 @@ pub mod collectives;
 pub mod comm;
 pub mod elem;
 pub mod ops;
+pub mod pool;
 pub mod stats;
 pub mod world;
 
 pub use comm::{Comm, RecvInfo, RecvRequest, Source, ANY_TAG};
 pub use elem::Elem;
 pub use ops::ReduceOp;
+pub use pool::BufferPool;
 pub use stats::CommStats;
 pub use world::World;

@@ -89,7 +89,7 @@ mod tests {
         assert!(!ranges_interleave(&[(5, 9)]));
     }
 
-    fn run_auto(requests: Vec<OffsetList>) -> Vec<(Vec<u8>, AutoReport)> {
+    fn run_auto(requests: &[OffsetList]) -> Vec<(Vec<u8>, AutoReport)> {
         let n = requests.len();
         let fs = Pfs::new(2, cc_model::DiskModel::lustre_like());
         let data: Vec<u8> = (0..4000).map(|i| (i % 251) as u8).collect();
@@ -101,7 +101,6 @@ mod tests {
         let fs = Arc::new(fs);
         let world = World::new(n, ClusterModel::test_tiny(n));
         let fs = &fs;
-        let requests = &requests;
         world.run(move |comm| {
             let file = fs.open("data").expect("exists");
             collective_read_auto(
@@ -127,7 +126,7 @@ mod tests {
         let requests: Vec<OffsetList> = (0..4u64)
             .map(|r| OffsetList::contiguous(r * 1000, 1000))
             .collect();
-        let results = run_auto(requests.clone());
+        let results = run_auto(&requests);
         for (r, (bytes, rep)) in results.iter().enumerate() {
             assert_eq!(bytes, &expected(&requests[r]));
             assert!(
@@ -151,7 +150,7 @@ mod tests {
                 )
             })
             .collect();
-        let results = run_auto(requests.clone());
+        let results = run_auto(&requests);
         for (r, (bytes, rep)) in results.iter().enumerate() {
             assert_eq!(bytes, &expected(&requests[r]));
             assert!(
@@ -166,7 +165,7 @@ mod tests {
         let mut requests = vec![OffsetList::empty(); 3];
         requests[0] = OffsetList::contiguous(0, 500);
         requests[2] = OffsetList::contiguous(500, 500);
-        let results = run_auto(requests.clone());
+        let results = run_auto(&requests);
         assert!(matches!(results[0].1, AutoReport::Independent(_)));
         assert_eq!(results[0].0, expected(&requests[0]));
         assert!(results[1].0.is_empty());

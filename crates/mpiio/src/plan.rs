@@ -9,6 +9,8 @@
 //! engine (which inserts the map between the phases) can share it — and so
 //! it can be property-tested in isolation.
 
+use std::sync::Arc;
+
 use cc_model::Topology;
 
 use crate::extent::{OffsetList, Piece};
@@ -24,19 +26,24 @@ pub struct CollectivePlan {
     pub domains: Vec<(u64, u64)>,
     /// Collective buffer size (bytes per iteration).
     pub cb: u64,
-    /// Every rank's request, indexed by rank.
-    pub requests: Vec<OffsetList>,
+    /// Every rank's request, indexed by rank. Shared rather than owned so
+    /// plans (and the engines layered on them) never deep-copy the offset
+    /// lists — cloning a plan is O(1) in request bytes.
+    pub requests: Arc<Vec<OffsetList>>,
 }
 
 impl CollectivePlan {
     /// Builds the plan from exchanged requests. Deterministic: all ranks
-    /// compute the identical plan from the identical inputs.
+    /// compute the identical plan from the identical inputs. Accepts either
+    /// an owned `Vec` or an existing `Arc` — callers holding the lists for
+    /// later verification can share them instead of cloning.
     pub fn build(
-        requests: Vec<OffsetList>,
+        requests: impl Into<Arc<Vec<OffsetList>>>,
         topology: &Topology,
         nprocs: usize,
         hints: &Hints,
     ) -> Self {
+        let requests = requests.into();
         hints.validate();
         assert_eq!(requests.len(), nprocs, "one request per rank");
         let aggregators = topology.aggregators(nprocs, hints.aggregators_per_node);
@@ -117,7 +124,7 @@ impl CollectivePlan {
         }
         let n = self.n_iterations(agg_idx);
         let mut active = vec![false; n];
-        for req in &self.requests {
+        for req in self.requests.iter() {
             for p in req.locate(dlo, dhi) {
                 let first = ((p.extent.offset - dlo) / self.cb) as usize;
                 let last = ((p.extent.end() - 1 - dlo) / self.cb) as usize;
@@ -147,7 +154,7 @@ impl CollectivePlan {
         let (lo, hi) = self.chunk(agg_idx, iter);
         let mut first = u64::MAX;
         let mut last = 0u64;
-        for req in &self.requests {
+        for req in self.requests.iter() {
             for p in req.locate(lo, hi) {
                 first = first.min(p.extent.offset);
                 last = last.max(p.extent.end());
@@ -327,7 +334,8 @@ mod tests {
             }
             let requests: Vec<OffsetList> = reqs.into_iter().map(OffsetList::new).collect();
             let topo = Topology::new(1, nprocs);
-            let plan = CollectivePlan::build(requests.clone(), &topo, nprocs, &hints(cb));
+            // The plan shares the request lists; read them back through it.
+            let plan = CollectivePlan::build(requests, &topo, nprocs, &hints(cb));
 
             // Every rank's pieces, collected over all chunks, must tile its
             // request buffer exactly.
@@ -345,7 +353,7 @@ mod tests {
                     prop_assert_eq!(p.buf_offset, cursor);
                     cursor += p.extent.len;
                 }
-                prop_assert_eq!(cursor, requests[rank].total_bytes());
+                prop_assert_eq!(cursor, plan.requests[rank].total_bytes());
             }
         }
 

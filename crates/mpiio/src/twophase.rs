@@ -119,6 +119,7 @@ pub fn collective_read(
         }
         assert_eq!(cursor, payload.len(), "shuffle payload length mismatch");
         let unpacked = info.arrival + cpu.memcpy_time(payload.len());
+        comm.recycle_buf(payload);
         done = done.max(unpacked);
     }
     if done > agg_done {
@@ -156,6 +157,8 @@ fn run_aggregator(
     let mut shuffle_lane = Lane::free_from(start);
     let single_lane = !hints.nonblocking;
     let mut last = start;
+    // One staging buffer reused across iterations — reads land in place.
+    let mut chunk = Vec::new();
 
     for iter in plan.active_iterations(agg_idx) {
         let Some((rlo, rhi)) = plan.read_range(agg_idx, iter) else {
@@ -163,7 +166,7 @@ fn run_aggregator(
         };
         // Phase 1: read the covering extent.
         let ready = io_lane.free_at();
-        let (chunk, read_done) = pfs.read_at(file, rlo, rhi - rlo, ready);
+        let read_done = pfs.read_at_into(file, rlo, rhi - rlo, ready, &mut chunk);
         io_lane.advance_to(read_done);
         if single_lane {
             shuffle_lane.advance_to(read_done);
@@ -191,7 +194,8 @@ fn run_aggregator(
                 shuffle_end = shuffle_end.max(t);
                 continue;
             }
-            let mut payload = Vec::with_capacity(piece_bytes);
+            let mut payload = comm.take_buf();
+            payload.reserve(piece_bytes);
             for p in &pieces {
                 let src = (p.extent.offset - rlo) as usize;
                 payload.extend_from_slice(&chunk[src..src + p.extent.len as usize]);
@@ -261,14 +265,13 @@ mod tests {
     fn run_collective(
         nprocs: usize,
         topo: Topology,
-        requests: Vec<OffsetList>,
+        requests: &[OffsetList],
         hints: Hints,
         fs: Arc<Pfs>,
     ) -> Vec<(Vec<u8>, TwoPhaseReport)> {
         let mut model = ClusterModel::test_tiny(1);
         model.topology = topo;
         let world = World::new(nprocs, model);
-        let requests = &requests;
         let hints = &hints;
         let fs = &fs;
         world.run(move |comm| {
@@ -287,7 +290,7 @@ mod tests {
         let results = run_collective(
             n,
             Topology::new(2, 2),
-            requests.clone(),
+            &requests,
             Hints::default(),
             fs,
         );
@@ -318,7 +321,7 @@ mod tests {
         let results = run_collective(
             n,
             Topology::new(1, 4),
-            requests.clone(),
+            &requests,
             Hints {
                 cb_buffer_size: 300,
                 ..Hints::default()
@@ -339,7 +342,7 @@ mod tests {
         let results = run_collective(
             n,
             Topology::new(1, 3),
-            requests.clone(),
+            &requests,
             Hints::default(),
             fs,
         );
@@ -358,7 +361,7 @@ mod tests {
         let results = run_collective(
             n,
             Topology::new(1, 2),
-            requests.clone(),
+            &requests,
             Hints {
                 cb_buffer_size: 600, // forces ~9 iterations per aggregator
                 aggregators_per_node: 2,
@@ -398,7 +401,7 @@ mod tests {
             let results = run_collective(
                 n,
                 Topology::new(2, 2),
-                mk_req(),
+                &mk_req(),
                 Hints {
                     cb_buffer_size: 2000,
                     nonblocking,
@@ -430,7 +433,7 @@ mod tests {
         let results = run_collective(
             n,
             Topology::new(1, 2),
-            requests,
+            &requests,
             Hints {
                 cb_buffer_size: 1000,
                 ..Hints::default()

@@ -82,16 +82,17 @@ pub fn collective_write(
     let mut send_lane = Lane::free_from(comm.clock());
     for (a, iter) in plan.sources_for(comm.rank()) {
         let agg_rank = plan.aggregators[a];
-        let pieces = plan.pieces_for(a, iter, comm.rank());
-        let piece_bytes: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
-        let mut payload = Vec::with_capacity(piece_bytes);
-        for p in &pieces {
-            let lo = p.buf_offset as usize;
-            payload.extend_from_slice(&data[lo..lo + p.extent.len as usize]);
-        }
         if agg_rank == comm.rank() {
             // Own pieces are handed over locally in the aggregator loop.
             continue;
+        }
+        let pieces = plan.pieces_for(a, iter, comm.rank());
+        let piece_bytes: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
+        let mut payload = comm.take_buf();
+        payload.reserve(piece_bytes);
+        for p in &pieces {
+            let lo = p.buf_offset as usize;
+            payload.extend_from_slice(&data[lo..lo + p.extent.len as usize]);
         }
         let same_node = comm.model().topology.same_node(comm.rank(), agg_rank);
         let cost = cpu.memcpy_time(payload.len())
@@ -147,17 +148,20 @@ fn run_write_aggregator(
     let mut io_lane = Lane::free_from(comm.clock());
     let single_lane = !hints.nonblocking;
     let mut last = comm.clock();
+    // One assembly buffer reused (re-zeroed) across iterations.
+    let mut chunk = Vec::new();
 
     for iter in plan.active_iterations(agg_idx) {
         let (clo, chi) = plan.chunk(agg_idx, iter);
-        let mut chunk = vec![0u8; (chi - clo) as usize];
+        chunk.clear();
+        chunk.resize((chi - clo) as usize, 0);
         let mut extents: Vec<Extent> = Vec::new();
         let mut arrival = recv_done;
         for src in plan.destinations(agg_idx, iter) {
             let pieces = plan.pieces_for(agg_idx, iter, src);
             let payload: Vec<u8>;
             if src == comm.rank() {
-                let mut own = Vec::new();
+                let mut own = comm.take_buf();
                 for p in &pieces {
                     let lo = p.buf_offset as usize;
                     own.extend_from_slice(&my_data[lo..lo + p.extent.len as usize]);
@@ -183,6 +187,7 @@ fn run_write_aggregator(
                 extents.push(p.extent);
             }
             assert_eq!(cursor, payload.len(), "write payload length mismatch");
+            comm.recycle_buf(payload);
         }
         recv_done = arrival;
         // Merge the received extents and write each contiguous run.
@@ -241,7 +246,7 @@ mod tests {
 
     fn run_write(
         nprocs: usize,
-        requests: Vec<OffsetList>,
+        requests: &[OffsetList],
         fs: Arc<Pfs>,
         hints: Hints,
     ) -> Vec<WriteReport> {
@@ -249,7 +254,6 @@ mod tests {
         model.topology = Topology::new(1, nprocs);
         let world = World::new(nprocs, model);
         let fs = &fs;
-        let requests = &requests;
         let hints = &hints;
         world.run(move |comm| {
             let file = fs.open("out").expect("exists");
@@ -285,7 +289,7 @@ mod tests {
             .map(|r| OffsetList::contiguous(r * 500, 500))
             .collect();
         let fs = empty_fs(2000);
-        let reports = run_write(n, requests.clone(), Arc::clone(&fs), Hints::default());
+        let reports = run_write(n, &requests, Arc::clone(&fs), Hints::default());
         check_file(&fs, &requests, 2000);
         let written: u64 = reports.iter().map(|r| r.bytes_written).sum();
         assert_eq!(written, 2000);
@@ -311,7 +315,7 @@ mod tests {
         let fs = empty_fs(600);
         run_write(
             n,
-            requests.clone(),
+            &requests,
             Arc::clone(&fs),
             Hints {
                 cb_buffer_size: 128,
@@ -331,7 +335,7 @@ mod tests {
         let fs = empty_fs(400);
         let reports = run_write(
             n,
-            requests,
+            &requests,
             Arc::clone(&fs),
             Hints {
                 cb_buffer_size: 1 << 20,
@@ -350,7 +354,7 @@ mod tests {
         let mut requests = vec![OffsetList::empty(); n];
         requests[1] = OffsetList::contiguous(64, 64);
         let fs = empty_fs(256);
-        run_write(n, requests.clone(), Arc::clone(&fs), Hints::default());
+        run_write(n, &requests, Arc::clone(&fs), Hints::default());
         check_file(&fs, &requests, 256);
     }
 

@@ -8,7 +8,7 @@
 //! and, crucially, how every reduction computed through the full stack can
 //! be checked against an independently computed expected value.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Element value generator for synthetic files: a pure function from the
 /// flat element index to a value.
@@ -64,7 +64,7 @@ impl MemBackend {
 
 impl Backend for MemBackend {
     fn read_into(&self, offset: u64, buf: &mut [u8]) {
-        let data = self.data.read();
+        let data = self.data.read().unwrap();
         let start = offset as usize;
         let end = start + buf.len();
         assert!(
@@ -76,7 +76,7 @@ impl Backend for MemBackend {
     }
 
     fn write_at(&self, offset: u64, incoming: &[u8]) {
-        let mut data = self.data.write();
+        let mut data = self.data.write().unwrap();
         let start = offset as usize;
         let end = start + incoming.len();
         assert!(
@@ -88,7 +88,7 @@ impl Backend for MemBackend {
     }
 
     fn size(&self) -> u64 {
-        self.data.read().len() as u64
+        self.data.read().unwrap().len() as u64
     }
 }
 
@@ -146,28 +146,70 @@ impl<V: ValueFn> SyntheticBackend<V> {
         }
         out
     }
-}
 
-impl<V: ValueFn> Backend for SyntheticBackend<V> {
-    fn read_into(&self, offset: u64, buf: &mut [u8]) {
-        let esize = self.kind.size();
+    /// Fills `buf` with the file bytes at `offset..offset + buf.len()` by
+    /// generating whole element runs: an unaligned head element (if the
+    /// range starts mid-element), a run of full elements written straight
+    /// into `buf` via `chunks_exact_mut` with no per-element offset
+    /// arithmetic or temporaries, and an unaligned tail element.
+    ///
+    /// Bit-identical to generating each element with [`Self::value`] and
+    /// slicing its little-endian encoding.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the backend size.
+    pub fn fill_range(&self, offset: u64, buf: &mut [u8]) {
+        let esize = self.kind.size() as usize;
         let end = offset + buf.len() as u64;
         assert!(
             end <= self.size(),
             "read [{offset}, {end}) beyond synthetic size {}",
             self.size()
         );
-        let mut pos = offset;
-        let mut filled = 0usize;
-        while filled < buf.len() {
-            let index = pos / esize;
-            let within = (pos % esize) as usize;
-            let bytes = self.elem_bytes(index);
-            let take = ((esize as usize) - within).min(buf.len() - filled);
-            buf[filled..filled + take].copy_from_slice(&bytes[within..within + take]);
-            filled += take;
-            pos += take as u64;
+        if buf.is_empty() {
+            return;
         }
+        let mut index = offset / esize as u64;
+        let within = (offset % esize as u64) as usize;
+        let mut rest = buf;
+        if within != 0 {
+            // Unaligned head: copy the trailing bytes of the covering element.
+            let bytes = self.elem_bytes(index);
+            let take = (esize - within).min(rest.len());
+            rest[..take].copy_from_slice(&bytes[within..within + take]);
+            rest = &mut rest[take..];
+            index += 1;
+        }
+        let mut chunks = rest.chunks_exact_mut(esize);
+        match self.kind {
+            ElemKind::F32 => {
+                for chunk in &mut chunks {
+                    let v = self.value_fn.value(index) as f32;
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                    index += 1;
+                }
+            }
+            ElemKind::F64 => {
+                for chunk in &mut chunks {
+                    let v = self.value_fn.value(index);
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                    index += 1;
+                }
+            }
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            // Unaligned tail: the leading bytes of one final element.
+            let bytes = self.elem_bytes(index);
+            let take = tail.len();
+            tail.copy_from_slice(&bytes[..take]);
+        }
+    }
+}
+
+impl<V: ValueFn> Backend for SyntheticBackend<V> {
+    fn read_into(&self, offset: u64, buf: &mut [u8]) {
+        self.fill_range(offset, buf);
     }
 
     fn write_at(&self, _offset: u64, _data: &[u8]) {
@@ -201,7 +243,7 @@ impl<B: Backend> OverlayBackend<B> {
 
     /// Total bytes currently stored in the overlay.
     pub fn overlay_bytes(&self) -> u64 {
-        self.written.read().values().map(|v| v.len() as u64).sum()
+        self.written.read().unwrap().values().map(|v| v.len() as u64).sum()
     }
 }
 
@@ -209,7 +251,7 @@ impl<B: Backend> Backend for OverlayBackend<B> {
     fn read_into(&self, offset: u64, buf: &mut [u8]) {
         self.base.read_into(offset, buf);
         let end = offset + buf.len() as u64;
-        let written = self.written.read();
+        let written = self.written.read().unwrap();
         // Patch every overlapping written range over the base bytes.
         for (&w_start, bytes) in written.range(..end) {
             let w_end = w_start + bytes.len() as u64;
@@ -232,7 +274,7 @@ impl<B: Backend> Backend for OverlayBackend<B> {
         if data.is_empty() {
             return;
         }
-        let mut written = self.written.write();
+        let mut written = self.written.write().unwrap();
         let end = offset + data.len() as u64;
         // Collect ranges overlapping or adjacent to the new write, merge
         // them into one contiguous range, then reinsert.
@@ -416,6 +458,33 @@ mod tests {
             overlay.read_into(0, &mut a);
             reference.read_into(0, &mut b);
             prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_fill_range_matches_per_element_oracle(
+            offset in 0u64..790,
+            len in 0usize..300,
+            wide in any::<bool>(),
+        ) {
+            // Bulk generation must be bit-identical to encoding each
+            // element independently from the `value()` oracle, for both
+            // element widths and arbitrary (unaligned) byte windows.
+            let kind = if wide { ElemKind::F64 } else { ElemKind::F32 };
+            let elems = 100u64;
+            let b = SyntheticBackend::new(elems, kind, default_climate_value);
+            let total = (elems * kind.size()) as usize;
+            prop_assume!(offset as usize + len <= total);
+            let mut expected = vec![0u8; total];
+            for (i, chunk) in expected.chunks_exact_mut(kind.size() as usize).enumerate() {
+                let v = b.value(i as u64);
+                match kind {
+                    ElemKind::F32 => chunk.copy_from_slice(&(v as f32).to_le_bytes()),
+                    ElemKind::F64 => chunk.copy_from_slice(&v.to_le_bytes()),
+                }
+            }
+            let mut got = vec![0u8; len];
+            b.fill_range(offset, &mut got);
+            prop_assert_eq!(&got[..], &expected[offset as usize..offset as usize + len]);
         }
 
         #[test]

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cc_model::{DiskModel, SimTime};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::backend::Backend;
 use crate::fault::FaultPlan;
@@ -128,13 +128,13 @@ impl Pfs {
             layout,
             backend,
         });
-        self.files.write().insert(name.to_string(), Arc::clone(&handle));
+        self.files.write().unwrap().insert(name.to_string(), Arc::clone(&handle));
         handle
     }
 
     /// Opens an existing file.
     pub fn open(&self, name: &str) -> Option<Arc<FileHandle>> {
-        self.files.read().get(name).cloned()
+        self.files.read().unwrap().get(name).cloned()
     }
 
     /// Reads `len` bytes at `offset`, requested at virtual time `now`.
@@ -147,6 +147,22 @@ impl Pfs {
         len: u64,
         now: SimTime,
     ) -> (Vec<u8>, SimTime) {
+        let mut buf = Vec::new();
+        let done = self.read_at_into(file, offset, len, now, &mut buf);
+        (buf, done)
+    }
+
+    /// Like [`read_at`](Self::read_at), but reads into a caller-owned
+    /// buffer (cleared and resized to `len`), so a pipeline draining many
+    /// chunks can reuse one allocation. Returns the completion time.
+    pub fn read_at_into(
+        &self,
+        file: &FileHandle,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+        buf: &mut Vec<u8>,
+    ) -> SimTime {
         assert!(
             offset + len <= file.size(),
             "read [{offset}, {}) beyond file '{}' of size {}",
@@ -154,12 +170,13 @@ impl Pfs {
             file.name,
             file.size()
         );
-        let mut buf = vec![0u8; len as usize];
-        file.backend.read_into(offset, &mut buf);
+        buf.clear();
+        buf.resize(len as usize, 0);
+        file.backend.read_into(offset, buf);
         let done = self.charge_io(file, offset, len, now);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
-        (buf, done)
+        done
     }
 
     /// Writes `data` at `offset`, requested at virtual time `now`. Returns

@@ -14,7 +14,7 @@
 //! number of idle gaps, not the number of requests.
 
 use cc_model::{DiskModel, SimTime};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 #[derive(Debug, Default)]
 struct OstState {
@@ -85,7 +85,7 @@ impl OstPool {
     /// Serves one contiguous extent of `bytes` on `ost`, requested at
     /// virtual time `now`. Returns the completion time.
     pub fn serve(&self, ost: usize, now: SimTime, bytes: u64) -> SimTime {
-        let mut state = self.osts[ost].lock();
+        let mut state = self.osts[ost].lock().unwrap();
         let service = self.disk.service_time(bytes as usize);
         let done = state.book(now, service);
         state.requests += 1;
@@ -97,7 +97,7 @@ impl OstPool {
     /// Total service seconds booked per OST — the utilization profile of
     /// the pool, for diagnosing striping imbalance.
     pub fn per_ost_busy_secs(&self) -> Vec<f64> {
-        self.osts.iter().map(|o| o.lock().busy_secs).collect()
+        self.osts.iter().map(|o| o.lock().unwrap().busy_secs).collect()
     }
 
     /// Load imbalance: busiest OST's service time over the mean (1.0 =
@@ -117,7 +117,7 @@ impl OstPool {
         self.osts
             .iter()
             .map(|o| {
-                let s = o.lock();
+                let s = o.lock().unwrap();
                 (s.requests, s.bytes)
             })
             .collect()
@@ -208,7 +208,7 @@ mod tests {
         // All requests form one solid busy block [0, 200).
         let d = p.serve(0, SimTime::ZERO, 100);
         assert_eq!(d.secs(), 202.0);
-        let state = p.osts[0].lock();
+        let state = p.osts[0].lock().unwrap();
         assert_eq!(state.busy.len(), 1);
     }
 
@@ -258,7 +258,7 @@ mod tests {
             prop_assert!((p.per_ost_busy_secs()[0] - total_service).abs() < 1e-9);
             // The booked intervals are disjoint and cover exactly the
             // service time.
-            let state = p.osts[0].lock();
+            let state = p.osts[0].lock().unwrap();
             let mut covered = 0.0;
             let mut prev_end = SimTime::ZERO;
             for &(s, e) in &state.busy {
