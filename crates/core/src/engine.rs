@@ -30,7 +30,10 @@ use crate::object::{IoMode, ObjectIo, ReduceMode};
 use crate::scratch::Scratch;
 
 /// Tag for intermediate-result messages.
-const TAG_RESULTS: TagValue = 0x4000_0001;
+// Tag base for intermediate-result shuffles; each operation stamps its
+// sequence number into the low bits (see `Comm::next_engine_tag`), so
+// back-to-back operations never cross-match.
+const TAG_RESULTS: TagValue = 0x5000_0000;
 
 /// The default root rank for reductions.
 pub fn default_root() -> usize {
@@ -218,6 +221,9 @@ fn run_collective_computing(
     let requests = exchange_requests(comm, &request);
     let topology = comm.model().topology.clone();
     let plan = CollectivePlan::build(requests, &topology, comm.nprocs(), &hints);
+    // The request exchange is collective, so the tag counter is symmetric
+    // across ranks here and this operation's result tag is unique to it.
+    let results_tag = comm.next_engine_tag(TAG_RESULTS);
 
     // --- Phase 1 + map: the aggregator pipeline (paper Fig. 7). ---------
     // One scratch arena serves the whole operation: chunk bytes, decoded
@@ -252,6 +258,7 @@ fn run_collective_computing(
             &inter,
             agg_done,
             root,
+            results_tag,
             &mut scratch,
             &mut report,
         ),
@@ -262,6 +269,7 @@ fn run_collective_computing(
             &inter,
             agg_done,
             root,
+            results_tag,
             &mut scratch,
             &mut report,
         ),
@@ -389,6 +397,7 @@ fn reduce_all_to_one(
     inter: &IntermediateSet,
     agg_done: SimTime,
     root: usize,
+    tag: TagValue,
     scratch: &mut Scratch,
     report: &mut CcReport,
 ) -> ReduceOutcome {
@@ -408,7 +417,7 @@ fn reduce_all_to_one(
             agg_done + cpu.memcpy_time(scratch.words.len() * 8) + comm.model().net.send_cost();
         let mut bytes = comm.take_buf();
         cc_mpi::elem::encode_slice_into(&scratch.words, &mut bytes);
-        comm.post_bytes_at(root, TAG_RESULTS, bytes, depart);
+        comm.post_bytes_at(root, tag, bytes, depart);
         done = done.max(depart);
     }
 
@@ -431,7 +440,7 @@ fn reduce_all_to_one(
             if agg == root {
                 continue;
             }
-            let (bytes, info) = comm.recv_bytes_no_clock(agg, TAG_RESULTS);
+            let (bytes, info) = comm.recv_bytes_no_clock(agg, tag);
             cc_mpi::elem::decode_into(&bytes, &mut scratch.words);
             comm.recycle_buf(bytes);
             absorb(IntermediateSet::decode(&scratch.words), &mut combines);
@@ -473,6 +482,7 @@ fn reduce_all_to_all(
     inter: &IntermediateSet,
     agg_done: SimTime,
     root: usize,
+    tag: TagValue,
     scratch: &mut Scratch,
     report: &mut CcReport,
 ) -> ReduceOutcome {
@@ -495,7 +505,7 @@ fn reduce_all_to_all(
         let depart = shuffle_lane.acquire(agg_done, cost);
         let mut bytes = comm.take_buf();
         cc_mpi::elem::encode_slice_into(&scratch.words, &mut bytes);
-        comm.post_bytes_at(owner, TAG_RESULTS, bytes, depart);
+        comm.post_bytes_at(owner, tag, bytes, depart);
     }
     let mut done = agg_done.max(shuffle_lane.free_at());
 
@@ -515,7 +525,7 @@ fn reduce_all_to_all(
         .collect();
     let mut combines = 0usize;
     for src in my_senders {
-        let (bytes, info) = comm.recv_bytes_no_clock(src, TAG_RESULTS);
+        let (bytes, info) = comm.recv_bytes_no_clock(src, tag);
         cc_mpi::elem::decode_into(&bytes, &mut scratch.words);
         comm.recycle_buf(bytes);
         for (owner, p) in IntermediateSet::decode(&scratch.words) {

@@ -13,13 +13,17 @@
 
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod net;
 pub mod pipeline;
 pub mod time;
 pub mod topology;
 
+use std::time::Duration;
+
 pub use cpu::CpuModel;
 pub use disk::DiskModel;
+pub use fault::FaultPlan;
 pub use net::NetModel;
 pub use pipeline::{BufferRing, Lane};
 pub use time::SimTime;
@@ -38,6 +42,16 @@ pub struct ClusterModel {
     pub disk: DiskModel,
     /// Computation cost parameters.
     pub cpu: CpuModel,
+    /// Injected faults (degraded links, stragglers); `None` — the default —
+    /// is the zero-cost healthy-cluster fast path. OST faults from the same
+    /// plan are applied separately via `Pfs::with_fault_plan`.
+    pub fault: Option<FaultPlan>,
+    /// How long a receive may block in *real* (wall-clock) time before the
+    /// runtime declares the run deadlocked and aborts with a diagnostic.
+    /// Virtual time is unaffected. Production-shaped models keep this
+    /// high; test models drop it to seconds so a reintroduced hang fails
+    /// the suite fast.
+    pub recv_watchdog: Duration,
 }
 
 impl ClusterModel {
@@ -51,6 +65,8 @@ impl ClusterModel {
             net: NetModel::gemini_like(),
             disk: DiskModel::lustre_like(),
             cpu: CpuModel::magny_cours_like(),
+            fault: None,
+            recv_watchdog: Duration::from_secs(120),
         }
     }
 
@@ -77,7 +93,23 @@ impl ClusterModel {
                 memcpy_cost_per_byte: 1e-10,
                 metadata_cost_per_entry: 1e-7,
             },
+            fault: None,
+            // Tests fail fast: a receive blocked this long in real time is
+            // a genuine deadlock, not a slow peer.
+            recv_watchdog: Duration::from_secs(30),
         }
+    }
+
+    /// Attaches a fault-injection plan (network delays, stragglers).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Overrides the blocked-receive watchdog duration.
+    pub fn with_recv_watchdog(mut self, watchdog: Duration) -> Self {
+        self.recv_watchdog = watchdog;
+        self
     }
 
     /// Number of ranks this model can host (one per core).

@@ -23,9 +23,7 @@ use crate::ops::ReduceOp;
 impl Comm {
     /// Allocates the tag for the next collective call site.
     fn next_collective_tag(&mut self) -> TagValue {
-        let tag = COLLECTIVE_TAG_BASE | (self.collective_seq & 0x0fff_ffff);
-        self.collective_seq = self.collective_seq.wrapping_add(1);
-        tag
+        self.next_engine_tag(COLLECTIVE_TAG_BASE)
     }
 
     /// Dissemination barrier: all ranks leave with clocks synchronized to
@@ -192,6 +190,13 @@ impl Comm {
 
     /// Binomial-tree reduction to `root`. All ranks pass equal-length
     /// slices; the root returns the element-wise reduction, others `None`.
+    ///
+    /// Contributions are always combined in *rank order* (MPI's guarantee
+    /// for non-commutative ops): the binomial tree runs over the plain rank
+    /// numbering — each combine merges contiguous, ascending rank blocks —
+    /// and rank 0 forwards the finished result to a nonzero `root`, exactly
+    /// as MPICH does rather than rotating the tree (which would rotate the
+    /// combine order).
     pub fn reduce<T: Elem>(
         &mut self,
         root: usize,
@@ -201,25 +206,37 @@ impl Comm {
         let tag = self.next_collective_tag();
         let p = self.nprocs();
         assert!(root < p, "reduce root {root} out of range");
-        let vrank = (self.rank() + p - root) % p;
+        let rank = self.rank();
         let mut acc = data.to_vec();
         let mut bit = 1;
+        let mut sent_up = false;
         while bit < p {
-            if vrank & bit != 0 {
-                // Send the partial up the tree and leave.
-                let parent = ((vrank & !bit) + root) % p;
-                self.send(parent, tag, &acc);
-                return None;
+            if rank & bit != 0 {
+                // Send the partial up the tree and stop combining.
+                self.send(rank & !bit, tag, &acc);
+                sent_up = true;
+                break;
             }
-            let child_v = vrank | bit;
-            if child_v < p {
-                let child = (child_v + root) % p;
+            let child = rank | bit;
+            if child < p {
                 let (incoming, _) = self.recv::<T>(child, tag);
                 op.combine(&mut acc, &incoming);
             }
             bit <<= 1;
         }
-        Some(acc)
+        if root == 0 {
+            return (rank == 0).then_some(acc);
+        }
+        // Forward the rank-ordered result from the tree root to `root`.
+        if rank == 0 {
+            self.send(root, tag, &acc);
+            None
+        } else if rank == root {
+            debug_assert!(sent_up || p == 1, "nonzero rank must have sent up");
+            Some(self.recv::<T>(0, tag).0)
+        } else {
+            None
+        }
     }
 
     /// Reduce-to-zero followed by broadcast: every rank returns the
@@ -401,6 +418,40 @@ mod tests {
                         assert!(res.is_none());
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_respects_rank_order_at_nonzero_root() {
+        use crate::ops::FnOp;
+        // Two associative, non-commutative ops that expose the combine
+        // order directly: "first writer wins" yields rank 0's value,
+        // "last writer wins" yields rank (p-1)'s value — regardless of
+        // which rank is the root. A rotated tree (the old bug) would
+        // have returned the root's own and (root-1)'s values instead.
+        let take_left = FnOp(|_acc: &mut [u64], _inc: &[u64]| {});
+        let take_right = FnOp(|acc: &mut [u64], inc: &[u64]| {
+            acc.copy_from_slice(inc);
+        });
+        for n in [2, 3, 5, 8] {
+            for root in 0..n {
+                let firsts = run_n(n, |comm| {
+                    comm.reduce(root, &[comm.rank() as u64 + 100], &take_left)
+                });
+                assert_eq!(
+                    firsts[root].as_ref().unwrap(),
+                    &vec![100],
+                    "first-contributor must be rank 0 (n={n}, root={root})"
+                );
+                let lasts = run_n(n, |comm| {
+                    comm.reduce(root, &[comm.rank() as u64 + 100], &take_right)
+                });
+                assert_eq!(
+                    lasts[root].as_ref().unwrap(),
+                    &vec![100 + n as u64 - 1],
+                    "last-contributor must be rank p-1 (n={n}, root={root})"
+                );
             }
         }
     }

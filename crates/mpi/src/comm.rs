@@ -9,17 +9,22 @@
 //! computed from the sender's clock plus the modeled transfer time.
 
 use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use cc_model::{ClusterModel, SimTime};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::elem::{decode_vec, encode_slice_into, Elem};
 use crate::pool::BufferPool;
 use crate::stats::CommStats;
 
-/// Message tag. Values with the top bit set are reserved for collectives.
+/// Message tag. Values with the top *nibble* set are reserved: bit 31 for
+/// the collectives in this crate, bits 28–30 for engine tag bases (the
+/// two-phase shuffles and the collective-computing result shuffle), which
+/// stamp the low 28 bits with a per-collective sequence number via
+/// [`Comm::next_engine_tag`].
 pub type TagValue = u32;
 
 /// Wildcard tag: matches any tag.
@@ -27,6 +32,17 @@ pub const ANY_TAG: TagValue = TagValue::MAX;
 
 /// Base of the tag space reserved for collective operations.
 pub(crate) const COLLECTIVE_TAG_BASE: TagValue = 0x8000_0000;
+
+/// Mask selecting the per-collective sequence bits of a reserved tag.
+pub const SEQ_MASK: TagValue = 0x0fff_ffff;
+
+/// Locks a mutex, ignoring poisoning: during an abort, rank threads unwind
+/// while holding mailbox locks, and the survivors still need to read the
+/// queues (for diagnostics) and unwind cleanly rather than cascade
+/// "poisoned" panics.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Message source selector for receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,22 +94,116 @@ struct Mailbox {
     arrived: Condvar,
 }
 
+/// Last-published per-rank progress, readable by the supervisor while the
+/// rank thread is blocked or gone. Updated with cheap relaxed stores on the
+/// rank's own hot path.
+#[derive(Default)]
+struct RankState {
+    /// This rank's virtual clock, as `f64` bits.
+    clock_bits: AtomicU64,
+    /// The rank's collective sequence counter (collectives entered so far).
+    seq: AtomicU32,
+}
+
+/// Why a run is being torn down: the first rank to panic, with its message.
+#[derive(Debug, Clone)]
+pub(crate) struct AbortInfo {
+    /// The originating rank.
+    pub(crate) rank: usize,
+    /// The originating panic's message.
+    pub(crate) message: String,
+}
+
+/// The panic payload used to unwind ranks that did nothing wrong when the
+/// world aborts. `World::run` recognizes it (and the default panic hook is
+/// bypassed via `resume_unwind`), so only the *originating* rank's panic is
+/// ever reported.
+pub(crate) struct WorldAborted;
+
 /// State shared by all ranks of one run.
 pub(crate) struct Shared {
     pub(crate) model: ClusterModel,
     mailboxes: Vec<Mailbox>,
+    /// Fast-path abort flag; set (with `Release`) after `abort` is filled.
+    aborted: AtomicBool,
+    /// First panic wins; later panics during teardown are ignored.
+    abort: Mutex<Option<AbortInfo>>,
+    states: Vec<RankState>,
 }
 
 impl Shared {
     pub(crate) fn new(nprocs: usize, model: ClusterModel) -> Arc<Self> {
-        let mailboxes = (0..nprocs).map(|_| Mailbox::default()).collect();
-        Arc::new(Self { model, mailboxes })
+        Arc::new(Self {
+            model,
+            mailboxes: (0..nprocs).map(|_| Mailbox::default()).collect(),
+            aborted: AtomicBool::new(false),
+            abort: Mutex::new(None),
+            states: (0..nprocs).map(|_| RankState::default()).collect(),
+        })
+    }
+
+    /// Whether the run is aborting. Safe to call while holding a mailbox
+    /// queue lock (it touches no other lock).
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Records `rank`'s panic (first one wins) and wakes every blocked
+    /// receiver so the whole world unwinds immediately instead of waiting
+    /// out the watchdog.
+    pub(crate) fn signal_abort(&self, rank: usize, message: String) {
+        {
+            let mut slot = lock_unpoisoned(&self.abort);
+            if slot.is_none() {
+                *slot = Some(AbortInfo { rank, message });
+            }
+        }
+        self.aborted.store(true, Ordering::Release);
+        // Lock each queue mutex before notifying: a receiver that checked
+        // the flag and is about to wait holds its queue lock, so taking it
+        // here guarantees the notify cannot fall between its check and its
+        // wait (no lost wakeup).
+        for mb in &self.mailboxes {
+            let _guard = lock_unpoisoned(&mb.queue);
+            mb.arrived.notify_all();
+        }
+    }
+
+    /// The recorded abort cause, if any.
+    pub(crate) fn abort_info(&self) -> Option<AbortInfo> {
+        lock_unpoisoned(&self.abort).clone()
+    }
+
+    /// Publishes rank-local progress for the diagnostic snapshot.
+    fn publish_clock(&self, rank: usize, clock: SimTime) {
+        self.states[rank]
+            .clock_bits
+            .store(clock.secs().to_bits(), Ordering::Relaxed);
+    }
+
+    fn publish_seq(&self, rank: usize, seq: u32) {
+        self.states[rank].seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// A per-rank snapshot — virtual clock, collectives entered, pending
+    /// envelopes — for the abort/watchdog report. Must not be called while
+    /// holding a mailbox queue lock.
+    pub(crate) fn diagnostic(&self) -> String {
+        let mut out = String::from("world state at abort:");
+        for (rank, state) in self.states.iter().enumerate() {
+            let clock = f64::from_bits(state.clock_bits.load(Ordering::Relaxed));
+            let seq = state.seq.load(Ordering::Relaxed);
+            let pending = lock_unpoisoned(&self.mailboxes[rank].queue).len();
+            let _ = write!(
+                out,
+                "\n  rank {rank}: clock={}, collectives entered={seq}, \
+                 {pending} envelope(s) pending",
+                SimTime::from_secs(clock.max(0.0)),
+            );
+        }
+        out
     }
 }
-
-/// How long a receive may block in *real* time before we assume the program
-/// deadlocked and abort with a diagnostic. Virtual time is unaffected.
-const RECV_WATCHDOG: Duration = Duration::from_secs(120);
 
 /// One rank's endpoint: identity, mailbox access, and the virtual clock.
 ///
@@ -160,14 +270,41 @@ impl Comm {
         self.clock
     }
 
+    /// Sets the clock and publishes it for the supervisor's diagnostics.
+    fn set_clock(&mut self, t: SimTime) {
+        self.clock = t;
+        self.shared.publish_clock(self.rank, t);
+    }
+
     /// Charges `dur` of local work (computation, memcpy, ...) to the clock.
+    /// On a rank the fault plan marks as a straggler, the charge is scaled
+    /// by its compute factor.
     pub fn advance(&mut self, dur: SimTime) {
-        self.clock += dur;
+        let dur = match &self.shared.model.fault {
+            Some(plan) => dur.scale(plan.compute_factor(self.rank)),
+            None => dur,
+        };
+        self.set_clock(self.clock + dur);
     }
 
     /// Moves the clock forward to at least `t` (never backwards).
     pub fn advance_to(&mut self, t: SimTime) {
-        self.clock = self.clock.max(t);
+        self.set_clock(self.clock.max(t));
+    }
+
+    /// Stamps `base` (an engine tag base occupying the top nibble) with
+    /// this rank's collective sequence number and advances the counter —
+    /// the same counter the built-in collectives use, so engine shuffles
+    /// and collective internals share one monotonically-tagged space.
+    /// Back-to-back or overlapping collectives therefore can never
+    /// cross-match envelopes, even when their plans differ. Must be called
+    /// SPMD-symmetrically (every rank, same order), like the collectives.
+    pub fn next_engine_tag(&mut self, base: TagValue) -> TagValue {
+        debug_assert_eq!(base & SEQ_MASK, 0, "engine tag base overlaps seq bits");
+        let tag = base | (self.collective_seq & SEQ_MASK);
+        self.collective_seq = self.collective_seq.wrapping_add(1);
+        self.shared.publish_seq(self.rank, self.collective_seq);
+        tag
     }
 
     /// Communication counters accumulated so far.
@@ -178,7 +315,7 @@ impl Comm {
     /// Sends raw bytes to `dst` with `tag`, charging the sender overhead to
     /// this rank's clock. Never blocks (eager buffered send).
     pub fn send_bytes(&mut self, dst: usize, tag: TagValue, payload: Vec<u8>) {
-        self.clock += self.shared.model.net.send_cost();
+        self.set_clock(self.clock + self.shared.model.net.send_cost());
         let depart = self.clock;
         self.post_bytes_at(dst, tag, payload, depart);
     }
@@ -196,7 +333,12 @@ impl Comm {
     ) -> SimTime {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         let same_node = self.shared.model.topology.same_node(self.rank, dst);
-        let arrival = depart + self.shared.model.net.transfer_time(payload.len(), same_node);
+        let mut arrival = depart + self.shared.model.net.transfer_time(payload.len(), same_node);
+        // Injected link degradation: fixed per-link delay plus deterministic
+        // jitter, keyed by this sender's message count so repeats differ.
+        if let Some(plan) = &self.shared.model.fault {
+            arrival += plan.link_extra(self.rank, dst, self.stats.msgs_sent as u64);
+        }
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += payload.len();
         let env = Envelope {
@@ -206,7 +348,7 @@ impl Comm {
             payload,
         };
         let mailbox = &self.shared.mailboxes[dst];
-        mailbox.queue.lock().unwrap().push_back(env);
+        lock_unpoisoned(&mailbox.queue).push_back(env);
         mailbox.arrived.notify_all();
         arrival
     }
@@ -215,22 +357,36 @@ impl Comm {
     /// Advances the clock to the message's arrival time.
     pub fn recv_bytes(&mut self, src: impl Into<Source>, tag: TagValue) -> (Vec<u8>, RecvInfo) {
         let (payload, info) = self.recv_bytes_no_clock(src, tag);
-        self.clock = self.clock.max(info.arrival);
+        self.set_clock(self.clock.max(info.arrival));
         (payload, info)
     }
 
     /// Receives like [`recv_bytes`](Self::recv_bytes) but leaves the clock
     /// untouched — for engines that account arrival times into their own
     /// lane structures.
+    ///
+    /// Blocked receives are supervised: if any rank panics, the supervisor
+    /// sets the world's abort flag and wakes every mailbox condvar, and
+    /// this call unwinds immediately (quietly — the originating rank's
+    /// panic is the one `World::run` reports). A receive blocked longer
+    /// than the model's `recv_watchdog` in *real* time panics with a
+    /// per-rank diagnostic snapshot instead.
     pub fn recv_bytes_no_clock(
         &mut self,
         src: impl Into<Source>,
         tag: TagValue,
     ) -> (Vec<u8>, RecvInfo) {
         let src = src.into();
+        let watchdog = self.shared.model.recv_watchdog;
         let mailbox = &self.shared.mailboxes[self.rank];
-        let mut queue = mailbox.queue.lock().unwrap();
+        let mut queue = lock_unpoisoned(&mailbox.queue);
         loop {
+            if self.shared.is_aborted() {
+                drop(queue);
+                // Unwind without invoking the panic hook: this rank is a
+                // casualty, not the cause.
+                std::panic::resume_unwind(Box::new(WorldAborted));
+            }
             if let Some(pos) = queue.iter().position(|e| e.matches(src, tag)) {
                 let env = queue.remove(pos).expect("position is in range");
                 self.stats.msgs_recv += 1;
@@ -244,15 +400,17 @@ impl Comm {
             }
             let (guard, timeout) = mailbox
                 .arrived
-                .wait_timeout(queue, RECV_WATCHDOG)
-                .expect("mailbox mutex poisoned");
+                .wait_timeout(queue, watchdog)
+                .unwrap_or_else(PoisonError::into_inner);
             queue = guard;
-            if timeout.timed_out() {
+            if timeout.timed_out() && !self.shared.is_aborted() {
+                let pending = queue.len();
+                drop(queue);
                 panic!(
                     "rank {} deadlocked waiting for src={src:?} tag={tag:#x} \
-                     ({} messages pending, none match)",
+                     ({pending} messages pending, none match)\n{}",
                     self.rank,
-                    queue.len()
+                    self.shared.diagnostic(),
                 );
             }
         }
@@ -267,13 +425,13 @@ impl Comm {
     ) -> Option<(Vec<u8>, RecvInfo)> {
         let src = src.into();
         let mailbox = &self.shared.mailboxes[self.rank];
-        let mut queue = mailbox.queue.lock().unwrap();
+        let mut queue = lock_unpoisoned(&mailbox.queue);
         let pos = queue.iter().position(|e| e.matches(src, tag))?;
         let env = queue.remove(pos).expect("position is in range");
         drop(queue);
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += env.payload.len();
-        self.clock = self.clock.max(env.arrival);
+        self.set_clock(self.clock.max(env.arrival));
         let info = RecvInfo {
             src: env.src,
             tag: env.tag,

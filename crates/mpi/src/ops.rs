@@ -3,15 +3,18 @@
 //! The paper's object I/O passes a user computation into the I/O layer via
 //! `MPI_Op_create` (Fig. 6, line 10). [`ReduceOp`] is the Rust analogue: an
 //! element-wise combiner over equal-length slices, required to be
-//! associative and commutative (as MPI requires of user ops used with
-//! `MPI_Reduce`).
+//! associative (as MPI requires of user ops used with `MPI_Reduce`).
+//! Commutativity is *not* required: `reduce`, `allreduce`, and `scan`
+//! combine contributions in rank order, merging contiguous ascending rank
+//! blocks, matching MPI's defined ordering for non-commutative ops.
 
 use crate::elem::Elem;
 
 /// An element-wise reduction over equal-length slices.
 ///
-/// Implementations must be associative and commutative up to floating-point
-/// rounding; the collectives are free to apply them in tree order.
+/// Implementations must be associative up to floating-point rounding; the
+/// collectives apply them in rank order (contiguous ascending blocks), so
+/// non-commutative associative ops reduce exactly as MPI specifies.
 pub trait ReduceOp<T: Elem>: Send + Sync {
     /// Folds `incoming` into `acc`, element by element.
     ///

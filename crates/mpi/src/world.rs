@@ -1,10 +1,30 @@
-//! SPMD launcher: one OS thread per rank.
+//! SPMD launcher: one OS thread per rank, with run supervision.
+//!
+//! Every rank closure runs under a panic guard. The first rank to panic
+//! records itself as the abort cause and wakes every mailbox condvar, so
+//! peers blocked in `recv` unwind immediately (well under the watchdog)
+//! instead of timing out. [`World::run`] then re-raises a single panic
+//! naming the *originating* rank and its message, plus a per-rank
+//! diagnostic snapshot (virtual clock, collectives entered, pending
+//! envelopes).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use cc_model::ClusterModel;
 
-use crate::comm::{Comm, Shared};
+use crate::comm::{Comm, Shared, WorldAborted};
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A simulated MPI world: `nprocs` ranks placed on the model's topology.
 ///
@@ -45,7 +65,10 @@ impl World {
     /// in rank order. Blocks until all ranks finish.
     ///
     /// # Panics
-    /// Propagates a panic from any rank (after all threads are joined).
+    /// If any rank panics, every other rank is unwound promptly (blocked
+    /// receivers are woken rather than left to the watchdog) and, after all
+    /// threads are joined, a single panic is raised naming the originating
+    /// rank, its message, and a per-rank diagnostic snapshot.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
@@ -53,22 +76,41 @@ impl World {
     {
         let shared = Shared::new(self.nprocs, self.model.clone());
         let f = &f;
-        std::thread::scope(|scope| {
+        let results: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nprocs)
                 .map(|rank| {
                     let shared = Arc::clone(&shared);
                     let nprocs = self.nprocs;
                     scope.spawn(move || {
-                        let mut comm = Comm::new(rank, nprocs, shared);
-                        f(&mut comm)
+                        let mut comm = Comm::new(rank, nprocs, Arc::clone(&shared));
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                            Ok(result) => result,
+                            Err(payload) => {
+                                // Secondary unwinds (peers woken by the
+                                // abort) must not overwrite the cause.
+                                if !payload.is::<WorldAborted>() {
+                                    shared.signal_abort(rank, panic_message(payload.as_ref()));
+                                }
+                                resume_unwind(payload);
+                            }
+                        }
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        })
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        if let Some(info) = shared.abort_info() {
+            panic!(
+                "rank {} panicked: {}\n{}",
+                info.rank,
+                info.message,
+                shared.diagnostic()
+            );
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
     }
 }
 
@@ -100,6 +142,63 @@ mod tests {
             });
             assert_eq!(sent[1], 9);
         }
+    }
+
+    #[test]
+    fn rank_panic_aborts_blocked_peers_quickly() {
+        // Rank 1 panics while every other rank is blocked in recv on a
+        // message that will never come. The supervisor must wake them and
+        // surface rank 1's panic well under the watchdog (and under the
+        // 5 s budget the tests run with).
+        let t0 = std::time::Instant::now();
+        let world = World::new(4, ClusterModel::test_tiny(4));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            world.run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("injected failure on rank 1");
+                }
+                // Blocks forever: nobody sends tag 99.
+                let _ = comm.recv::<u8>(0, 99);
+            })
+        }));
+        let elapsed = t0.elapsed();
+        let payload = result.expect_err("world must propagate the panic");
+        let msg = panic_message(payload.as_ref());
+        assert!(
+            msg.contains("rank 1 panicked: injected failure on rank 1"),
+            "panic must name the originating rank, got: {msg}"
+        );
+        assert!(
+            msg.contains("clock="),
+            "panic must carry the diagnostic snapshot, got: {msg}"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "abort took {elapsed:?}, should be well under 5 s"
+        );
+    }
+
+    #[test]
+    fn abort_does_not_poison_subsequent_runs() {
+        let world = World::new(2, ClusterModel::test_tiny(2));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            world.run(|comm| {
+                if comm.rank() == 0 {
+                    panic!("boom");
+                }
+                let _ = comm.recv::<u8>(0, 7);
+            })
+        }));
+        // A fresh run on the same World works: state is per-run.
+        let ok = world.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[3u8]);
+                3
+            } else {
+                comm.recv::<u8>(0, 7).0[0]
+            }
+        });
+        assert_eq!(ok, vec![3, 3]);
     }
 
     #[test]

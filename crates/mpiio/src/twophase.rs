@@ -24,7 +24,10 @@ use crate::extent::OffsetList;
 use crate::hints::Hints;
 use crate::plan::CollectivePlan;
 
-/// Tag used by shuffle messages (outside the user and collective spaces).
+/// Tag base for read-shuffle messages (outside the user and collective
+/// spaces). Each collective stamps its sequence number into the low bits
+/// via [`Comm::next_engine_tag`], so back-to-back collectives never
+/// cross-match even when a fast rank races ahead into the next call.
 pub(crate) const TAG_SHUFFLE: TagValue = 0x4000_0000;
 
 /// Durations of one aggregator iteration.
@@ -32,6 +35,10 @@ pub(crate) const TAG_SHUFFLE: TagValue = 0x4000_0000;
 pub struct IterationTiming {
     /// Time the read phase of this iteration took (including OST queueing).
     pub read: SimTime,
+    /// The part of `read` spent queueing: actual read duration minus the
+    /// fault-free, contention-free service time of the same extent. Under
+    /// an injected OST fault this is where the degradation shows up.
+    pub queue: SimTime,
     /// Time the shuffle phase of this iteration took (packing + posting).
     pub shuffle: SimTime,
 }
@@ -69,6 +76,33 @@ impl TwoPhaseReport {
     pub fn shuffle_total(&self) -> SimTime {
         self.iterations.iter().map(|i| i.shuffle).sum()
     }
+
+    /// Sum of per-iteration queueing time (aggregators only) — the share
+    /// of the read phase attributable to OST contention or degradation.
+    pub fn queue_total(&self) -> SimTime {
+        self.iterations.iter().map(|i| i.queue).sum()
+    }
+
+    /// Ranks that entered the collective more than `factor` times later
+    /// than the median entry time, given every rank's report in rank
+    /// order. Late entry — not long residence — is the straggler signal:
+    /// a slow rank arrives at a later virtual clock, while its *peers*
+    /// are the ones whose residence inflates waiting for its pieces.
+    /// Returns an empty list for an empty slice.
+    pub fn stragglers(reports: &[TwoPhaseReport], factor: f64) -> Vec<usize> {
+        if reports.is_empty() {
+            return Vec::new();
+        }
+        let mut starts: Vec<SimTime> = reports.iter().map(|r| r.start).collect();
+        starts.sort();
+        let median = starts[starts.len() / 2];
+        reports
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.start > median.scale(factor))
+            .map(|(rank, _)| rank)
+            .collect()
+    }
 }
 
 /// Collectively reads every rank's `my_request` from `file`. Returns the
@@ -81,6 +115,13 @@ pub fn collective_read(
     my_request: &OffsetList,
     hints: &Hints,
 ) -> (Vec<u8>, TwoPhaseReport) {
+    // Entry time is captured before the request exchange: the exchange is
+    // itself a collective that synchronizes clocks, so capturing it later
+    // would erase the late arrival of a straggler rank.
+    let mut report = TwoPhaseReport {
+        start: comm.clock(),
+        ..TwoPhaseReport::default()
+    };
     let requests = exchange_requests(comm, my_request);
     let plan = CollectivePlan::build(
         requests,
@@ -88,16 +129,18 @@ pub fn collective_read(
         comm.nprocs(),
         hints,
     );
-    let mut report = TwoPhaseReport {
-        start: comm.clock(),
-        ..TwoPhaseReport::default()
-    };
+    // Every rank passed through the request exchange above, so the engine
+    // tag counter is identical on all ranks: this collective's shuffle
+    // traffic gets a unique tag, distinct from the previous and next calls.
+    let tag = comm.next_engine_tag(TAG_SHUFFLE);
     let mut buf = vec![0u8; my_request.total_bytes() as usize];
 
     // --- Aggregator role: read chunks and scatter pieces. --------------
     let mut agg_done = comm.clock();
     if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
-        agg_done = run_aggregator(comm, pfs, file, &plan, agg_idx, hints, &mut report, &mut buf);
+        agg_done = run_aggregator(
+            comm, pfs, file, &plan, agg_idx, tag, hints, &mut report, &mut buf,
+        );
     }
 
     // --- Receiver role: collect pieces from every sending chunk. -------
@@ -108,7 +151,7 @@ pub fn collective_read(
         if agg_rank == comm.rank() {
             continue; // own pieces were placed locally by the aggregator loop
         }
-        let (payload, info) = comm.recv_bytes_no_clock(agg_rank, TAG_SHUFFLE);
+        let (payload, info) = comm.recv_bytes_no_clock(agg_rank, tag);
         let pieces = plan.pieces_for(a, i, comm.rank());
         let mut cursor = 0usize;
         for p in &pieces {
@@ -142,6 +185,7 @@ fn run_aggregator(
     file: &FileHandle,
     plan: &CollectivePlan,
     agg_idx: usize,
+    tag: TagValue,
     hints: &Hints,
     report: &mut TwoPhaseReport,
     buf: &mut [u8],
@@ -173,6 +217,7 @@ fn run_aggregator(
         }
         report.bytes_read += rhi - rlo;
         let read_dur = read_done.saturating_since(ready);
+        let queue_dur = read_dur.saturating_since(pfs.ideal_read_time(file, rlo, rhi - rlo));
         report
             .segments
             .push(Segment::new(ready, read_done, Activity::Wait));
@@ -212,7 +257,7 @@ fn run_aggregator(
                 + comm.model().net.wire_time(payload.len(), same_node);
             let depart = shuffle_lane.acquire(read_done, pack_and_post);
             report.bytes_shuffled += payload.len() as u64;
-            comm.post_bytes_at(dst, TAG_SHUFFLE, payload, depart);
+            comm.post_bytes_at(dst, tag, payload, depart);
             shuffle_end = shuffle_end.max(depart);
         }
         if single_lane {
@@ -223,6 +268,7 @@ fn run_aggregator(
             .push(Segment::new(shuffle_start, shuffle_end, Activity::Sys));
         report.iterations.push(IterationTiming {
             read: read_dur,
+            queue: queue_dur,
             shuffle: shuffle_end.saturating_since(shuffle_start),
         });
         last = last.max(shuffle_end);
@@ -449,6 +495,161 @@ mod tests {
         assert_eq!(agg.bytes_shuffled, 4000);
         // The non-aggregator has no iterations.
         assert!(results[1].1.iterations.is_empty());
+    }
+
+    #[test]
+    fn consecutive_collectives_with_different_plans_do_not_cross_match() {
+        // Two back-to-back collectives whose plans differ (different
+        // aggregator counts and chunking), so the shuffle traffic of the
+        // two calls flows between overlapping rank pairs. Sequence-stamped
+        // tags must keep the matches separate even though a fast rank can
+        // race into the second call while a peer still drains the first.
+        let n = 4;
+        let fs = make_fs(2, 8000, 512, 2);
+        let requests_a: Vec<OffsetList> = (0..n as u64)
+            .map(|r| OffsetList::contiguous(r * 2000, 2000))
+            .collect();
+        // Second call: shifted, interleaved fine-grained requests.
+        let requests_b: Vec<OffsetList> = (0..n as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..20)
+                        .map(|k| Extent {
+                            offset: r * 100 + k * 400,
+                            len: 100,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut model = ClusterModel::test_tiny(n);
+        model.topology = Topology::new(2, 2);
+        let world = World::new(n, model);
+        let fs = &fs;
+        let (ra, rb) = (&requests_a, &requests_b);
+        let results = world.run(move |comm| {
+            let file = fs.open("data").expect("file exists");
+            let h1 = Hints {
+                aggregators_per_node: 2,
+                cb_buffer_size: 1000,
+                ..Hints::default()
+            };
+            let h2 = Hints {
+                aggregators_per_node: 1,
+                cb_buffer_size: 700,
+                ..Hints::default()
+            };
+            // No barrier between the calls: ranks may overlap them.
+            let (d1, _) = collective_read(comm, fs, &file, &ra[comm.rank()], &h1);
+            let (d2, _) = collective_read(comm, fs, &file, &rb[comm.rank()], &h2);
+            (d1, d2)
+        });
+        for (r, (d1, d2)) in results.iter().enumerate() {
+            assert_eq!(d1, &expected_bytes(&requests_a[r]), "rank {r} call 1");
+            assert_eq!(d2, &expected_bytes(&requests_b[r]), "rank {r} call 2");
+        }
+    }
+
+    #[test]
+    fn slow_ost_fault_shifts_timings_but_not_data() {
+        let n = 2;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| OffsetList::contiguous(r * 4000, 4000))
+            .collect();
+        let run = |plan: Option<cc_model::FaultPlan>| {
+            let mut fs = Pfs::new(
+                2,
+                cc_model::DiskModel {
+                    seek: 1e-3,
+                    ost_bandwidth: 1e8,
+                },
+            );
+            if let Some(p) = &plan {
+                fs = fs.with_fault_plan(p);
+            }
+            let data: Vec<u8> = (0..8000).map(|i| (i % 251) as u8).collect();
+            fs.create(
+                "data",
+                StripeLayout::round_robin(512, 2, 0, 2),
+                Box::new(MemBackend::from_bytes(data)),
+            );
+            run_collective(
+                n,
+                Topology::new(1, 2),
+                &requests,
+                Hints {
+                    cb_buffer_size: 2000,
+                    ..Hints::default()
+                },
+                Arc::new(fs),
+            )
+        };
+        let healthy = run(None);
+        let degraded = run(Some(cc_model::FaultPlan::new().slow_ost(0, 10.0)));
+        for (r, (h, d)) in healthy.iter().zip(&degraded).enumerate() {
+            // Data stays bit-exact under the fault.
+            assert_eq!(h.0, d.0, "rank {r} data changed under fault");
+            assert_eq!(d.0, expected_bytes(&requests[r]), "rank {r} data");
+        }
+        // The degraded run is measurably slower, and the slowdown is
+        // attributed to queueing, not to a changed ideal service time.
+        let end = |rs: &[(Vec<u8>, TwoPhaseReport)]| {
+            rs.iter().map(|(_, r)| r.end).max().unwrap()
+        };
+        assert!(
+            end(&degraded) > end(&healthy).scale(2.0),
+            "10x slow OST must visibly stretch the collective: healthy {} degraded {}",
+            end(&healthy),
+            end(&degraded)
+        );
+        let queue = |rs: &[(Vec<u8>, TwoPhaseReport)]| -> SimTime {
+            rs.iter().map(|(_, r)| r.queue_total()).sum()
+        };
+        assert!(
+            queue(&degraded) > queue(&healthy),
+            "degradation must surface as queueing time"
+        );
+    }
+
+    #[test]
+    fn straggler_rank_is_detected_from_reports() {
+        let n = 4;
+        let fs = make_fs(2, 4000, 256, 2);
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| OffsetList::contiguous(r * 1000, 1000))
+            .collect();
+        let mut model = ClusterModel::test_tiny(n);
+        model.topology = Topology::new(1, 4);
+        model = model.with_fault(cc_model::FaultPlan::new().straggle_rank(2, 6.0));
+        let world = World::new(n, model);
+        let fs = &fs;
+        let requests = &requests;
+        let reports: Vec<TwoPhaseReport> = world
+            .run(move |comm| {
+                // One second of pre-collective compute; the straggler's is
+                // scaled by the fault plan, so it enters late.
+                comm.advance(SimTime::from_secs(1.0));
+                let file = fs.open("data").expect("file exists");
+                collective_read(comm, fs, &file, &requests[comm.rank()], &Hints::default()).1
+            })
+            .into_iter()
+            .collect();
+        assert_eq!(TwoPhaseReport::stragglers(&reports, 2.0), vec![2]);
+        // Without a fault plan nobody straggles.
+        let clean = World::new(n, {
+            let mut m = ClusterModel::test_tiny(n);
+            m.topology = Topology::new(1, 4);
+            m
+        });
+        let reports: Vec<TwoPhaseReport> = clean
+            .run(move |comm| {
+                comm.advance(SimTime::from_secs(1.0));
+                let file = fs.open("data").expect("file exists");
+                collective_read(comm, fs, &file, &requests[comm.rank()], &Hints::default()).1
+            })
+            .into_iter()
+            .collect();
+        assert!(TwoPhaseReport::stragglers(&reports, 2.0).is_empty());
     }
 
     #[test]

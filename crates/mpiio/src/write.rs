@@ -20,8 +20,9 @@ use crate::extent::{Extent, OffsetList};
 use crate::hints::Hints;
 use crate::plan::CollectivePlan;
 
-/// Tag used by write-shuffle messages.
-pub(crate) const TAG_WRITE_SHUFFLE: TagValue = 0x4000_0002;
+/// Tag base for write-shuffle messages; each collective stamps its
+/// sequence number into the low bits (see `Comm::next_engine_tag`).
+pub(crate) const TAG_WRITE_SHUFFLE: TagValue = 0x6000_0000;
 
 /// What one rank observed during a collective write.
 #[derive(Debug, Clone, Default)]
@@ -72,6 +73,9 @@ pub fn collective_write(
         comm.nprocs(),
         hints,
     );
+    // All ranks passed through the request exchange, so the counter is
+    // symmetric and this collective's shuffle tag is unique to it.
+    let tag = comm.next_engine_tag(TAG_WRITE_SHUFFLE);
     let mut report = WriteReport {
         start: comm.clock(),
         ..WriteReport::default()
@@ -100,7 +104,7 @@ pub fn collective_write(
             + comm.model().net.wire_time(payload.len(), same_node);
         let depart = send_lane.acquire(comm.clock(), cost);
         report.bytes_shuffled += payload.len() as u64;
-        comm.post_bytes_at(agg_rank, TAG_WRITE_SHUFFLE, payload, depart);
+        comm.post_bytes_at(agg_rank, tag, payload, depart);
     }
     let sends_done = send_lane.free_at().max(comm.clock());
     if sends_done > report.start {
@@ -118,6 +122,7 @@ pub fn collective_write(
             file,
             &plan,
             agg_idx,
+            tag,
             hints,
             data,
             my_request,
@@ -138,6 +143,7 @@ fn run_write_aggregator(
     file: &FileHandle,
     plan: &CollectivePlan,
     agg_idx: usize,
+    tag: TagValue,
     hints: &Hints,
     my_data: &[u8],
     my_request: &OffsetList,
@@ -174,7 +180,7 @@ fn run_write_aggregator(
                 );
                 payload = own;
             } else {
-                let (bytes, info) = comm.recv_bytes_no_clock(src, TAG_WRITE_SHUFFLE);
+                let (bytes, info) = comm.recv_bytes_no_clock(src, tag);
                 arrival = arrival.max(info.arrival);
                 payload = bytes;
             }

@@ -1,4 +1,4 @@
-//! Deterministic fault injection for reads.
+//! Deterministic transient-fault retries for reads.
 //!
 //! The paper's conclusion names fault tolerance as future work; this module
 //! provides the substrate for exercising it. Faults are injected by a
@@ -6,6 +6,11 @@
 //! transiently — so tests are reproducible. The file system retries failed
 //! attempts internally (up to a bound) and charges a virtual-time penalty
 //! per retry, exactly like a Lustre client resending an RPC.
+//!
+//! This models *transient, retried* failures. Persistent degradation —
+//! slow or stalled OSTs, bad links, straggler ranks — is described by
+//! [`cc_model::FaultPlan`] and applied via `Pfs::with_fault_plan` and
+//! `ClusterModel::with_fault`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,7 +18,7 @@ use cc_model::SimTime;
 
 /// A plan for injecting transient read faults.
 #[derive(Debug)]
-pub struct FaultPlan {
+pub struct RetryPlan {
     /// Every `fail_every`-th read attempt fails (1-based counting).
     pub fail_every: u64,
     /// Virtual-time penalty charged per retry.
@@ -24,7 +29,7 @@ pub struct FaultPlan {
     retries: AtomicU64,
 }
 
-impl FaultPlan {
+impl RetryPlan {
     /// A plan failing every `fail_every`-th attempt.
     ///
     /// # Panics
@@ -68,7 +73,7 @@ mod tests {
 
     #[test]
     fn every_third_attempt_fails() {
-        let plan = FaultPlan::every(3, SimTime::from_secs(0.1), 5);
+        let plan = RetryPlan::every(3, SimTime::from_secs(0.1), 5);
         let pattern: Vec<bool> = (0..9).map(|_| plan.attempt_fails()).collect();
         assert_eq!(
             pattern,
@@ -79,7 +84,7 @@ mod tests {
 
     #[test]
     fn retries_are_counted() {
-        let plan = FaultPlan::every(1, SimTime::ZERO, 3);
+        let plan = RetryPlan::every(1, SimTime::ZERO, 3);
         plan.note_retry();
         plan.note_retry();
         assert_eq!(plan.retries(), 2);
@@ -88,6 +93,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_interval_panics() {
-        let _ = FaultPlan::every(0, SimTime::ZERO, 1);
+        let _ = RetryPlan::every(0, SimTime::ZERO, 1);
     }
 }

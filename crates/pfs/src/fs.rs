@@ -8,7 +8,7 @@ use cc_model::{DiskModel, SimTime};
 use std::sync::RwLock;
 
 use crate::backend::Backend;
-use crate::fault::FaultPlan;
+use crate::fault::RetryPlan;
 use crate::layout::StripeLayout;
 use crate::ost::OstPool;
 
@@ -77,7 +77,7 @@ impl FileHandle {
 pub struct Pfs {
     pool: OstPool,
     files: RwLock<HashMap<String, Arc<FileHandle>>>,
-    fault: Option<FaultPlan>,
+    fault: Option<RetryPlan>,
     stats: PfsStats,
 }
 
@@ -92,15 +92,25 @@ impl Pfs {
         }
     }
 
-    /// Adds a transient-fault injection plan (see [`FaultPlan`]).
-    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+    /// Adds a transient-fault retry plan (see [`RetryPlan`]).
+    pub fn with_retries(mut self, plan: RetryPlan) -> Self {
         self.fault = Some(plan);
         self
     }
 
-    /// The fault plan, if any.
-    pub fn fault(&self) -> Option<&FaultPlan> {
+    /// The retry plan, if any.
+    pub fn retry_plan(&self) -> Option<&RetryPlan> {
         self.fault.as_ref()
+    }
+
+    /// Applies the OST-degradation part of a [`cc_model::FaultPlan`]:
+    /// slow OSTs serve every extent at a multiple of the healthy service
+    /// time, stalled OSTs queue everything behind their stall window.
+    /// Network and straggler faults are applied by `cc-mpi` from
+    /// `ClusterModel::fault`, not here.
+    pub fn with_fault_plan(mut self, plan: &cc_model::FaultPlan) -> Self {
+        self.pool.apply_faults(plan);
+        self
     }
 
     /// Number of OSTs.
@@ -189,6 +199,25 @@ impl Pfs {
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         done
+    }
+
+    /// The fault-free, queue-free duration of a read: max over OSTs of the
+    /// summed healthy service times of its extents. The gap between an
+    /// actual completion and `now + ideal_read_time` is queueing — under a
+    /// fault plan, the part attributable to degradation and contention.
+    pub fn ideal_read_time(&self, file: &FileHandle, offset: u64, len: u64) -> SimTime {
+        if len == 0 {
+            return SimTime::ZERO;
+        }
+        let mut worst = SimTime::ZERO;
+        for (_ost, extents) in file.layout.map_range_by_ost(offset, len) {
+            let ost_total: SimTime = extents
+                .iter()
+                .map(|ext| self.pool.ideal_service_time(ext.len))
+                .sum();
+            worst = worst.max(ost_total);
+        }
+        worst
     }
 
     /// Charges the timing of one I/O call: transient-fault retries, then one
@@ -365,7 +394,7 @@ mod tests {
 
     #[test]
     fn fault_injection_delays_but_preserves_data() {
-        let fs = test_fs(1).with_fault(FaultPlan::every(
+        let fs = test_fs(1).with_retries(RetryPlan::every(
             2,
             SimTime::from_secs(10.0),
             3,
@@ -375,7 +404,7 @@ mod tests {
         let (d2, t2) = fs.read_at(&f, 0, 10, SimTime::ZERO); // attempt 2 fails, 3 ok
         assert_eq!(d1, d2);
         assert!(t2 > t1 + SimTime::from_secs(9.0), "retry penalty missing");
-        assert_eq!(fs.fault().unwrap().retries(), 1);
+        assert_eq!(fs.retry_plan().unwrap().retries(), 1);
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod layout;
 pub mod ost;
 
 pub use backend::{Backend, MemBackend, OverlayBackend, SyntheticBackend, ValueFn};
-pub use fault::FaultPlan;
+pub use fault::RetryPlan;
 pub use fs::{FileHandle, Pfs, PfsStats};
 pub use layout::StripeLayout;

@@ -12,8 +12,13 @@
 //!
 //! Booked intervals are coalesced, so memory stays proportional to the
 //! number of idle gaps, not the number of requests.
+//!
+//! Persistent degradation from a [`cc_model::FaultPlan`] is applied with
+//! [`OstPool::apply_faults`]: a *slow* OST multiplies every service time,
+//! and a *stalled* OST books its whole stall window up front so the first
+//! requests queue behind it — a controller failover, as seen by clients.
 
-use cc_model::{DiskModel, SimTime};
+use cc_model::{DiskModel, FaultPlan, SimTime};
 use std::sync::Mutex;
 
 #[derive(Debug, Default)]
@@ -59,12 +64,24 @@ impl OstState {
         }
         self.busy = merged;
     }
+
+    /// Marks the OST busy from time zero until `until`, pushing all
+    /// service behind the stall. Not counted as busy seconds — the OST is
+    /// unavailable, not doing work.
+    fn block_until(&mut self, until: SimTime) {
+        if until > SimTime::ZERO {
+            self.busy.push((SimTime::ZERO, until));
+            self.coalesce();
+        }
+    }
 }
 
 /// The OST pool of one file system.
 pub struct OstPool {
     osts: Vec<Mutex<OstState>>,
     disk: DiskModel,
+    /// Per-OST service-time multiplier (1.0 = healthy), from the fault plan.
+    slowdown: Vec<f64>,
 }
 
 impl OstPool {
@@ -74,6 +91,7 @@ impl OstPool {
         Self {
             osts: (0..count).map(|_| Mutex::new(OstState::default())).collect(),
             disk,
+            slowdown: vec![1.0; count],
         }
     }
 
@@ -82,11 +100,31 @@ impl OstPool {
         self.osts.len()
     }
 
+    /// Applies the OST-degradation part of a fault plan: slow OSTs serve
+    /// every extent at a multiple of the healthy service time, stalled
+    /// OSTs are blocked from time zero until their stall deadline.
+    /// OST indices outside the pool are ignored (the plan may be written
+    /// for a larger machine).
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        for (ost, factor) in self.slowdown.iter_mut().enumerate() {
+            *factor = plan.ost_slowdown(ost);
+        }
+        for (ost, state) in self.osts.iter_mut().enumerate() {
+            state.get_mut().unwrap().block_until(plan.ost_stall(ost));
+        }
+    }
+
+    /// Healthy (fault-free) service time for one extent on `ost` —
+    /// what an idle, undegraded OST would take.
+    pub fn ideal_service_time(&self, bytes: u64) -> SimTime {
+        self.disk.service_time(bytes as usize)
+    }
+
     /// Serves one contiguous extent of `bytes` on `ost`, requested at
     /// virtual time `now`. Returns the completion time.
     pub fn serve(&self, ost: usize, now: SimTime, bytes: u64) -> SimTime {
         let mut state = self.osts[ost].lock().unwrap();
-        let service = self.disk.service_time(bytes as usize);
+        let service = self.disk.service_time(bytes as usize).scale(self.slowdown[ost]);
         let done = state.book(now, service);
         state.requests += 1;
         state.bytes += bytes;
@@ -228,6 +266,35 @@ mod tests {
     #[test]
     fn idle_pool_reports_balanced() {
         assert_eq!(pool().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn slow_ost_multiplies_service_time() {
+        let mut p = pool();
+        p.apply_faults(&FaultPlan::default().slow_ost(0, 10.0));
+        // OST 0: (1 seek + 1s stream) × 10 = 20s. OST 1 healthy: 2s.
+        assert_eq!(p.serve(0, SimTime::ZERO, 100).secs(), 20.0);
+        assert_eq!(p.serve(1, SimTime::ZERO, 100).secs(), 2.0);
+    }
+
+    #[test]
+    fn stalled_ost_queues_early_requests() {
+        let mut p = pool();
+        p.apply_faults(&FaultPlan::default().stall_ost(0, t(50.0)));
+        // First request waits out the stall, then serves normally.
+        assert_eq!(p.serve(0, SimTime::ZERO, 100).secs(), 52.0);
+        // A request arriving after the stall is unaffected.
+        assert_eq!(p.serve(0, t(60.0), 100).secs(), 62.0);
+        // The stall window is not billed as busy seconds.
+        assert!((p.per_ost_busy_secs()[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_for_larger_machine_is_clipped() {
+        let mut p = pool();
+        // OST 7 does not exist in this 2-OST pool; must not panic.
+        p.apply_faults(&FaultPlan::default().slow_ost(7, 4.0));
+        assert_eq!(p.serve(0, SimTime::ZERO, 100).secs(), 2.0);
     }
 
     #[test]
