@@ -7,13 +7,24 @@
 //! "after" is the current stack (bulk `fill_range`, scratch-buffer
 //! `decode_into`). A counting global allocator verifies the after-path's
 //! steady state performs no per-pass heap allocation.
+//!
+//! Planning time is attributed separately from the data stages: the
+//! "before" planner rebuilds the collective plan each pass and answers the
+//! engines' schedule questions through the query API (the seed's behavior
+//! at every timestep); the "after" planner resolves each pass through a
+//! [`cc_mpiio::PlanCache`], so steady-state passes reuse the compiled
+//! schedule outright. The JSON reports each planner's per-pass cost and
+//! its share of the end-to-end pass.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cc_bench::hotpath::{make_backend, run_after, run_before, HotPathConfig, HotPathScratch};
+use cc_bench::plan::{walk_compiled, walk_query};
 use cc_core::{MapKernel, SumKernel};
+use cc_mpiio::{CollectivePlan, PlanCache};
 
 /// `System`, with every allocation counted.
 struct CountingAlloc;
@@ -84,13 +95,40 @@ fn main() {
         std::hint::black_box(run_after(&cfg, &backend, kernel, &mut scratch));
     });
 
+    // Planning stage, attributed separately: every pass plans the same
+    // access pattern across a 32-rank job before touching its own data.
+    // "Before" rebuilds the plan and answers through the query API each
+    // pass (the seed's per-timestep behavior); "after" resolves it through
+    // the plan cache, reusing the compiled schedule after the first pass.
+    let nprocs = 32;
+    let (topo, hints) = cfg.planning_topology(nprocs, 8);
+    let requests = Arc::new(cfg.planning_requests(nprocs));
+    let plan_once = CollectivePlan::build(Arc::clone(&requests), &topo, nprocs, &hints);
+    let mut cache = PlanCache::new();
+    let compiled_once = cache.get_or_compile(Arc::clone(&requests), &topo, nprocs, &hints);
+    assert_eq!(
+        walk_query(&plan_once),
+        walk_compiled(&compiled_once),
+        "planners diverged"
+    );
+    let plan_before_secs = time(&mut || {
+        let plan = CollectivePlan::build(Arc::clone(&requests), &topo, nprocs, &hints);
+        std::hint::black_box(walk_query(&plan));
+    });
+    let plan_after_secs = time(&mut || {
+        let sched = cache.get_or_compile(Arc::clone(&requests), &topo, nprocs, &hints);
+        std::hint::black_box(walk_compiled(&sched));
+    });
+
     let elems = cfg.total_elems() as f64;
     let before_eps = elems / before_secs;
     let after_eps = elems / after_secs;
     let speedup = after_eps / before_eps;
+    let plan_share_before = plan_before_secs / (plan_before_secs + before_secs);
+    let plan_share_after = plan_after_secs / (plan_after_secs + after_secs);
 
     let json = format!(
-        "{{\n  \"bench\": \"generate_decode_map\",\n  \"runs\": {},\n  \"run_elems\": {},\n  \"elements_per_pass\": {},\n  \"before\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"after\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"generate_decode_map\",\n  \"runs\": {},\n  \"run_elems\": {},\n  \"elements_per_pass\": {},\n  \"before\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"after\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"speedup\": {:.2},\n  \"planner\": {{\n    \"nprocs\": {},\n    \"before\": {{ \"secs_per_pass\": {:.6e}, \"share_of_pass\": {:.4} }},\n    \"after\": {{ \"secs_per_pass\": {:.6e}, \"share_of_pass\": {:.4} }},\n    \"speedup\": {:.2}\n  }}\n}}\n",
         cfg.runs,
         cfg.run_elems,
         cfg.total_elems(),
@@ -101,10 +139,22 @@ fn main() {
         after_eps,
         after_allocs,
         speedup,
+        nprocs,
+        plan_before_secs,
+        plan_share_before,
+        plan_after_secs,
+        plan_share_after,
+        plan_before_secs / plan_after_secs,
     );
     print!("{json}");
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     eprintln!(
         "speedup {speedup:.2}x, steady-state allocs/pass: before {before_allocs}, after {after_allocs}"
+    );
+    eprintln!(
+        "planner share of pass: before {:.1}%, after {:.1}% ({:.2}x planner speedup)",
+        plan_share_before * 100.0,
+        plan_share_after * 100.0,
+        plan_before_secs / plan_after_secs,
     );
 }

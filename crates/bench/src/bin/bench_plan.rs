@@ -1,0 +1,93 @@
+//! Measures planner cost — query-based vs compiled vs cached — on the
+//! paper-like multi-step sweep and writes `BENCH_plan.json`.
+//!
+//! The three strategies (see `cc_bench::plan`) answer the identical set of
+//! schedule questions the two-phase engines ask, and the binary asserts
+//! their checksums match before timing anything: the speedup is from
+//! answering the same questions faster, not from answering fewer. `--quick`
+//! shrinks the scenario for CI smoke runs; the default is the full
+//! hundreds-of-ranks / thousands-of-extents configuration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cc_bench::plan::{sweep_cached, sweep_compiled, sweep_query, PlanBenchConfig};
+use cc_bench::Scale;
+use cc_mpiio::OffsetList;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = PlanBenchConfig::for_scale(scale);
+    let requests: Vec<Arc<Vec<OffsetList>>> = (0..cfg.steps)
+        .map(|s| Arc::new(cfg.requests(s)))
+        .collect();
+
+    // Correctness gate (doubles as warm-up): all strategies must answer
+    // the engine's schedule questions identically, and the cache must
+    // resolve the sweep as one compile plus translations.
+    let query_sum = sweep_query(&cfg, &requests);
+    let compiled_sum = sweep_compiled(&cfg, &requests);
+    let (cached_sum, stats) = sweep_cached(&cfg, &requests);
+    assert_eq!(query_sum, compiled_sum, "compiled walk diverged from query");
+    assert_eq!(query_sum, cached_sum, "cached walk diverged from query");
+    assert_eq!(stats.misses, 1, "sweep should compile exactly once");
+    assert_eq!(
+        stats.hits + stats.translations,
+        cfg.steps as u64 - 1,
+        "every later step should reuse the compiled schedule"
+    );
+
+    let passes: u32 = match scale {
+        Scale::Quick => 5,
+        Scale::Full => 3,
+    };
+    let time = |f: &dyn Fn() -> u64| {
+        let t = Instant::now();
+        for _ in 0..passes {
+            std::hint::black_box(f());
+        }
+        t.elapsed().as_secs_f64() / (passes as usize * cfg.steps) as f64
+    };
+    let query_secs = time(&|| sweep_query(&cfg, &requests));
+    let compiled_secs = time(&|| sweep_compiled(&cfg, &requests));
+    let cached_secs = time(&|| sweep_cached(&cfg, &requests).0);
+
+    let speedup_compiled = query_secs / compiled_secs;
+    let speedup_cached = query_secs / cached_secs;
+    let total_extents = cfg.nprocs * cfg.extents_per_rank;
+
+    // Headline: the compiled planner as the engines run it on a multi-step
+    // sweep — compile once, reuse via the plan cache for every later step.
+    // `compiled.speedup_vs_query` isolates the cold per-step cost of
+    // compile + flat-table answers with no reuse at all.
+    let json = format!(
+        "{{\n  \"bench\": \"plan_compile_cache\",\n  \"scale\": \"{}\",\n  \"speedup\": {:.2},\n  \"nprocs\": {},\n  \"nodes\": {},\n  \"extents_per_rank\": {},\n  \"total_extents\": {},\n  \"extent_len\": {},\n  \"cb_buffer_size\": {},\n  \"steps\": {},\n  \"query\": {{ \"secs_per_step\": {:.6e} }},\n  \"compiled\": {{ \"secs_per_step\": {:.6e}, \"speedup_vs_query\": {:.2} }},\n  \"cached\": {{ \"secs_per_step\": {:.6e}, \"speedup_vs_query\": {:.2}, \"misses\": {}, \"translations\": {}, \"hits\": {} }}\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        speedup_cached,
+        cfg.nprocs,
+        cfg.nodes,
+        cfg.extents_per_rank,
+        total_extents,
+        cfg.extent_len,
+        cfg.cb,
+        cfg.steps,
+        query_secs,
+        compiled_secs,
+        speedup_compiled,
+        cached_secs,
+        speedup_cached,
+        stats.misses,
+        stats.translations,
+        stats.hits,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
+    eprintln!(
+        "planner sweep speedup {speedup_cached:.2}x vs query (cold compile {speedup_compiled:.2}x) \
+         ({} ranks x {} extents, {} steps)",
+        cfg.nprocs, cfg.extents_per_rank, cfg.steps
+    );
+}

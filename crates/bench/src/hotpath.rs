@@ -14,6 +14,8 @@
 
 use cc_array::DType;
 use cc_core::{MapKernel, Partial};
+use cc_model::Topology;
+use cc_mpiio::{Extent, Hints, OffsetList};
 use cc_pfs::backend::{default_climate_value, ElemKind};
 use cc_pfs::{SyntheticBackend, ValueFn};
 
@@ -40,6 +42,44 @@ impl HotPathConfig {
     /// Total elements the file must hold (runs plus gaps).
     pub fn file_elems(&self) -> u64 {
         (self.runs * (self.run_elems + self.gap_elems)) as u64
+    }
+
+    /// The job-wide request set whose planning cost an end-to-end pass
+    /// pays: every rank of an `nprocs`-rank job runs this config's
+    /// run/gap pattern, rank-interleaved (rank `r` owns the `r`-th run
+    /// slot of each round). Each process plans the *global* schedule
+    /// before touching its own data, so the planner's share of a pass is
+    /// measured against requests of all ranks, not just one.
+    pub fn planning_requests(&self, nprocs: usize) -> Vec<OffsetList> {
+        let esize = ElemKind::F64.size();
+        let run_bytes = self.run_elems as u64 * esize;
+        let slot_bytes = (self.run_elems + self.gap_elems) as u64 * esize;
+        (0..nprocs as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..self.runs as u64)
+                        .map(|k| Extent {
+                            offset: (k * nprocs as u64 + r) * slot_bytes,
+                            len: run_bytes,
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Topology and hints the planning stage uses: one aggregator per
+    /// node, collective buffers sized so each aggregator iterates a few
+    /// times over its domain.
+    pub fn planning_topology(&self, nprocs: usize, nodes: usize) -> (Topology, Hints) {
+        let topo = Topology::new(nodes, nprocs.div_ceil(nodes));
+        let hints = Hints {
+            cb_buffer_size: 64 << 10,
+            aggregators_per_node: 1,
+            nonblocking: true,
+            align_domains_to: None,
+        };
+        (topo, hints)
     }
 }
 
@@ -147,6 +187,25 @@ mod tests {
             let after = run_after(&cfg, &backend, kernel, &mut scratch);
             assert_eq!(before, after, "{} diverged", kernel.name());
         }
+    }
+
+    #[test]
+    fn planning_requests_walks_agree() {
+        use crate::plan::{walk_compiled, walk_query};
+        use cc_mpiio::{CollectivePlan, PlanSchedule};
+        use std::sync::Arc;
+
+        let cfg = HotPathConfig {
+            runs: 24,
+            run_elems: 8,
+            gap_elems: 8,
+        };
+        let nprocs = 6;
+        let (topo, hints) = cfg.planning_topology(nprocs, 2);
+        let reqs = Arc::new(cfg.planning_requests(nprocs));
+        let plan = CollectivePlan::build(Arc::clone(&reqs), &topo, nprocs, &hints);
+        let sched = PlanSchedule::compile(plan.clone());
+        assert_eq!(walk_query(&plan), walk_compiled(&sched));
     }
 
     #[test]

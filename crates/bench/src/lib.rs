@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod figs;
 pub mod hotpath;
+pub mod plan;
 pub mod runner;
 
 pub use ablations::*;

@@ -19,7 +19,7 @@ use cc_model::{Lane, SimTime};
 use cc_mpi::comm::TagValue;
 use cc_mpi::Comm;
 use cc_mpiio::exchange::exchange_requests;
-use cc_mpiio::{independent_read, CollectivePlan, Hints};
+use cc_mpiio::{independent_read, CollectivePlan, Hints, PlanCache, PlanSchedule};
 use cc_pfs::{FileHandle, Pfs};
 use cc_profile::{Activity, Segment};
 
@@ -112,6 +112,24 @@ pub fn object_get_vara(
     io: &ObjectIo,
     kernel: &dyn MapKernel,
 ) -> CcOutcome {
+    object_get_vara_cached(comm, pfs, file, var, io, kernel, None)
+}
+
+/// [`object_get_vara`] with an optional compiled-plan cache: iterative
+/// sweeps pass one cache across steps so that steps with an identical (or
+/// constant-offset-shifted) access shape reuse the compiled schedule
+/// instead of replanning. Every rank must pass a cache with identical
+/// contents (or none); the cache only matters on the collective
+/// non-blocking path — blocking and independent modes ignore it.
+pub fn object_get_vara_cached(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    io: &ObjectIo,
+    kernel: &dyn MapKernel,
+    cache: Option<&mut PlanCache>,
+) -> CcOutcome {
     let slab = Hyperslab::new(io.start.clone(), io.count.clone());
     if io.blocking {
         // io.block = true: "essentially identical to the traditional
@@ -120,7 +138,9 @@ pub fn object_get_vara(
     }
     match io.mode {
         IoMode::Independent => run_independent(comm, pfs, file, var, &slab, io, kernel),
-        IoMode::Collective => run_collective_computing(comm, pfs, file, var, &slab, io, kernel),
+        IoMode::Collective => {
+            run_collective_computing(comm, pfs, file, var, &slab, io, kernel, cache)
+        }
     }
 }
 
@@ -194,6 +214,7 @@ fn run_independent(
 }
 
 /// The collective-computing path proper.
+#[allow(clippy::too_many_arguments)]
 fn run_collective_computing(
     comm: &mut Comm,
     pfs: &Pfs,
@@ -202,6 +223,7 @@ fn run_collective_computing(
     slab: &Hyperslab,
     io: &ObjectIo,
     kernel: &dyn MapKernel,
+    cache: Option<&mut PlanCache>,
 ) -> CcOutcome {
     let mut report = CcReport {
         start: comm.clock(),
@@ -220,7 +242,15 @@ fn run_collective_computing(
     let request = var.byte_extents(slab);
     let requests = exchange_requests(comm, &request);
     let topology = comm.model().topology.clone();
-    let plan = CollectivePlan::build(requests, &topology, comm.nprocs(), &hints);
+    let schedule = match cache {
+        Some(cache) => cache.get_or_compile(requests, &topology, comm.nprocs(), &hints),
+        None => PlanSchedule::compile(CollectivePlan::build(
+            requests,
+            &topology,
+            comm.nprocs(),
+            &hints,
+        )),
+    };
     // The request exchange is collective, so the tag counter is symmetric
     // across ranks here and this operation's result tag is unique to it.
     let results_tag = comm.next_engine_tag(TAG_RESULTS);
@@ -231,13 +261,13 @@ fn run_collective_computing(
     let mut scratch = Scratch::new();
     let mut inter = IntermediateSet::new();
     let mut agg_done = comm.clock();
-    if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
+    if let Some(agg_idx) = schedule.aggregator_index(comm.rank()) {
         agg_done = run_map_pipeline(
             comm,
             pfs,
             file,
             var,
-            &plan,
+            &schedule,
             agg_idx,
             &hints,
             kernel,
@@ -254,7 +284,7 @@ fn run_collective_computing(
         ReduceMode::AllToOne { root } => reduce_all_to_one(
             comm,
             kernel,
-            &plan,
+            &schedule,
             &inter,
             agg_done,
             root,
@@ -265,7 +295,7 @@ fn run_collective_computing(
         ReduceMode::AllToAll { root } => reduce_all_to_all(
             comm,
             kernel,
-            &plan,
+            &schedule,
             &inter,
             agg_done,
             root,
@@ -300,7 +330,7 @@ fn run_map_pipeline(
     pfs: &Pfs,
     file: &FileHandle,
     var: &Variable,
-    plan: &CollectivePlan,
+    schedule: &PlanSchedule,
     agg_idx: usize,
     hints: &Hints,
     kernel: &dyn MapKernel,
@@ -326,8 +356,8 @@ fn run_map_pipeline(
     let single_lane = !hints.nonblocking;
     let mut last = start;
 
-    for iter in plan.active_iterations(agg_idx) {
-        let Some((rlo, rhi)) = plan.read_range(agg_idx, iter) else {
+    for &iter in schedule.active_iterations(agg_idx) {
+        let Some((rlo, rhi)) = schedule.read_range(agg_idx, iter) else {
             continue;
         };
         let ready = io_lane.free_at();
@@ -339,12 +369,12 @@ fn run_map_pipeline(
             .push(Segment::new(ready, read_done, Activity::Wait));
 
         // Construct logical runs and map them, per destination owner.
-        let (clo, chi) = plan.chunk(agg_idx, iter);
+        let (clo, chi) = schedule.chunk(agg_idx, iter);
         let mut mapped_bytes = 0usize;
         let mut entries = 0u64;
         let mut meta_bytes = 0u64;
-        for dst in plan.destinations(agg_idx, iter) {
-            let runs = construct_runs(var, &plan.requests[dst], clo, chi);
+        for &dst in schedule.destinations(agg_idx, iter) {
+            let runs = construct_runs(var, &schedule.plan().requests[dst], clo, chi);
             let acc = inter.partial_mut(dst, kernel);
             for run in &runs {
                 let off = (var.byte_of_elem(run.start_elem) - rlo) as usize;
@@ -393,7 +423,7 @@ fn run_map_pipeline(
 fn reduce_all_to_one(
     comm: &mut Comm,
     kernel: &dyn MapKernel,
-    plan: &CollectivePlan,
+    schedule: &PlanSchedule,
     inter: &IntermediateSet,
     agg_done: SimTime,
     root: usize,
@@ -402,9 +432,9 @@ fn reduce_all_to_one(
     report: &mut CcReport,
 ) -> ReduceOutcome {
     let cpu = comm.model().cpu.clone();
-    let active: Vec<usize> = (0..plan.aggregators.len())
-        .filter(|&a| !plan.active_iterations(a).is_empty())
-        .map(|a| plan.aggregators[a])
+    let active: Vec<usize> = (0..schedule.plan().aggregators.len())
+        .filter(|&a| schedule.is_active(a))
+        .map(|a| schedule.aggregator_rank(a))
         .collect();
 
     // Sender side (aggregators): serialize into the scratch word buffer,
@@ -478,7 +508,7 @@ fn reduce_all_to_one(
 fn reduce_all_to_all(
     comm: &mut Comm,
     kernel: &dyn MapKernel,
-    plan: &CollectivePlan,
+    schedule: &PlanSchedule,
     inter: &IntermediateSet,
     agg_done: SimTime,
     root: usize,
@@ -510,19 +540,20 @@ fn reduce_all_to_all(
     let mut done = agg_done.max(shuffle_lane.free_at());
 
     // Receiver side: my partials come from every aggregator whose domain
-    // holds any of my bytes.
+    // holds any of my bytes — exactly the aggregators appearing in my
+    // source list, which is (aggregator, iteration)-ordered, so adjacent
+    // dedup suffices.
     let mut mine = kernel.identity();
     if let Some(p) = inter.get(comm.rank()) {
         kernel.combine(&mut mine, p);
     }
-    let my_senders: Vec<usize> = (0..plan.aggregators.len())
-        .filter(|&a| {
-            let (lo, hi) = plan.domains[a];
-            plan.aggregators[a] != comm.rank()
-                && plan.requests[comm.rank()].bytes_in(lo, hi) > 0
-        })
-        .map(|a| plan.aggregators[a])
-        .collect();
+    let mut my_senders: Vec<usize> = Vec::new();
+    for &(a, _) in schedule.sources_for(comm.rank()) {
+        let agg_rank = schedule.aggregator_rank(a);
+        if agg_rank != comm.rank() && my_senders.last() != Some(&agg_rank) {
+            my_senders.push(agg_rank);
+        }
+    }
     let mut combines = 0usize;
     for src in my_senders {
         let (bytes, info) = comm.recv_bytes_no_clock(src, tag);

@@ -9,9 +9,10 @@
 
 use cc_array::Variable;
 use cc_mpi::Comm;
+use cc_mpiio::{PlanCache, PlanCacheStats};
 use cc_pfs::{FileHandle, Pfs};
 
-use crate::engine::{object_get_vara, CcOutcome};
+use crate::engine::{object_get_vara_cached, CcOutcome};
 use crate::kernel::{MapKernel, Partial};
 use crate::object::ObjectIo;
 
@@ -24,6 +25,9 @@ pub struct IterativeOutcome {
     pub per_step: Option<Vec<Vec<f64>>>,
     /// Every step's full outcome (reports etc.), in step order.
     pub steps: Vec<CcOutcome>,
+    /// How the sweep's plan cache was exercised: the canonical timestep
+    /// sweep compiles step 0 and hits or translates every later step.
+    pub plan_cache: PlanCacheStats,
 }
 
 /// Runs `kernel` over a sequence of `(variable, selection)` steps and
@@ -42,8 +46,11 @@ pub fn iterative_get_vara(
     let mut folded: Option<Partial> = None;
     let mut per_step: Vec<Vec<f64>> = Vec::new();
     let mut at_root = false;
+    // One plan cache spans the sweep: steps that repeat (or merely shift)
+    // the access shape reuse the compiled schedule instead of replanning.
+    let mut plans = PlanCache::new();
     for (var, io) in steps {
-        let out = object_get_vara(comm, pfs, file, var, io, kernel);
+        let out = object_get_vara_cached(comm, pfs, file, var, io, kernel, Some(&mut plans));
         if let Some(p) = &out.global_partial {
             at_root = true;
             per_step.push(out.global.clone().expect("global accompanies partial"));
@@ -61,6 +68,7 @@ pub fn iterative_get_vara(
             .then(|| kernel.finalize(folded.as_ref().expect("folded at root"))),
         per_step: at_root.then_some(per_step),
         steps: outcomes,
+        plan_cache: plans.stats(),
     }
 }
 

@@ -36,7 +36,7 @@ pub mod scratch;
 
 pub use baseline::{traditional_get_vara, traditional_get_vara_partial, BaselineReport};
 pub use iterative::{iterative_get_vara, IterativeOutcome};
-pub use engine::{object_get_vara, CcOutcome, CcReport};
+pub use engine::{object_get_vara, object_get_vara_cached, CcOutcome, CcReport};
 pub use fused::FusedKernel;
 pub use intermediate::IntermediateSet;
 pub use kernel::{

@@ -6,7 +6,7 @@
 //! default of spreading aggregators evenly across nodes.
 
 /// Node/core layout of the simulated cluster.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Topology {
     /// Number of compute nodes.
     pub nodes: usize,

@@ -13,10 +13,18 @@ use crate::extent::OffsetList;
 /// indexed by rank. Must be called collectively.
 pub fn exchange_requests(comm: &mut Comm, mine: &OffsetList) -> Vec<OffsetList> {
     let words = mine.to_words();
-    comm.allgatherv(&words)
-        .iter()
-        .map(|w| OffsetList::from_words(w))
-        .collect()
+    let gathered = comm.allgatherv(&words);
+    let mut out = Vec::with_capacity(gathered.len());
+    for (rank, w) in gathered.iter().enumerate() {
+        if rank == comm.rank() {
+            // The local slot round-tripped through our own encoding; clone
+            // the already-validated list instead of re-sorting/coalescing.
+            out.push(mine.clone());
+        } else {
+            out.push(OffsetList::from_words(w));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

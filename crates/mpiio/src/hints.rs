@@ -1,7 +1,11 @@
 //! MPI-IO hints, mirroring the ROMIO `cb_*` info keys the paper tunes.
 
 /// Tuning knobs of the two-phase engine.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` let hints participate in plan-cache keys
+/// (`cc_mpiio::schedule::PlanCache`): any hint change must miss the cache,
+/// since every field affects the compiled schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Hints {
     /// Collective buffer size per aggregator per iteration
     /// (`cb_buffer_size`; ROMIO default 4 MiB — the value profiled in the

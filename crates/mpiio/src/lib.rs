@@ -27,6 +27,7 @@ pub mod extent;
 pub mod hints;
 pub mod independent;
 pub mod plan;
+pub mod schedule;
 pub mod twophase;
 pub mod write;
 
@@ -37,5 +38,6 @@ pub use independent::{
     independent_read, independent_write, sieving_read, sieving_write, IndependentReport,
 };
 pub use plan::CollectivePlan;
-pub use twophase::{collective_read, IterationTiming, TwoPhaseReport};
-pub use write::{collective_write, WriteReport};
+pub use schedule::{CacheOutcome, PlanCache, PlanCacheStats, PlanSchedule};
+pub use twophase::{collective_read, collective_read_cached, IterationTiming, TwoPhaseReport};
+pub use write::{collective_write, collective_write_cached, WriteReport};

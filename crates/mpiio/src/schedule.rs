@@ -1,0 +1,995 @@
+//! Compiled collective plans: one-sweep shuffle schedules and plan caching.
+//!
+//! [`CollectivePlan`] answers every schedule question by re-scanning all
+//! ranks' offset lists (`locate`/`bytes_in` per aggregator per iteration
+//! per call site), so planning cost is O(iterations × ranks × log extents)
+//! *per query* — and the engines query it from every hot loop.
+//! [`PlanSchedule`] compiles the complete schedule once, with a single
+//! linear co-sweep over all ranks' extents, into CSR-style flat tables:
+//! per (aggregator, iteration) slot the covering read range, the
+//! destination ranks, and each destination's piece slice; per rank the
+//! ordered `(agg, iter)` source list. Every query the engines make becomes
+//! an O(1) or slice lookup, and the per-call `Vec<Piece>` allocations of
+//! the query API disappear.
+//!
+//! [`PlanCache`] layers reuse on top for iterative sweeps
+//! (`cc-core::iterative`): schedules are keyed by a request-shape
+//! fingerprint plus hints, rank count, and topology. When a later step's
+//! requests are a constant-offset translation of a cached step's (the
+//! canonical timestep sweep), the compiled schedule is *translated*
+//! instead of recompiled: the shape-invariant index tables are shared by
+//! `Arc` and only the offset-bearing geometry columns are copied and
+//! shifted; identical requests are reused outright, sharing everything.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use cc_model::Topology;
+
+use crate::extent::{Extent, OffsetList, Piece};
+use crate::hints::Hints;
+use crate::plan::CollectivePlan;
+
+/// The index tables of one compiled schedule: everything that depends only
+/// on the *shape* of the request set. Invariant under offset translation,
+/// so translated schedules share them by `Arc` instead of copying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScheduleIndex {
+    /// Slot base per aggregator: slot `(a, it)` is `iter_base[a] + it`.
+    /// Length `naggs + 1`; the last entry is the total slot count.
+    iter_base: Vec<usize>,
+    /// CSR of active (non-empty) iterations per aggregator.
+    active_base: Vec<usize>,
+    active_iters: Vec<usize>,
+    /// CSR of destination ranks per slot, ascending within a slot.
+    dest_base: Vec<usize>,
+    dest_rank: Vec<usize>,
+    /// Piece slice per destination entry (parallel to `dest_rank`, with a
+    /// final end sentinel): destination `d` owns `pieces[piece_base[d]..
+    /// piece_base[d + 1]]`, in file (and buffer) order.
+    piece_base: Vec<usize>,
+    /// CSR of `(agg_idx, iter)` sources per rank, in deterministic
+    /// (aggregator, iteration) order.
+    src_base: Vec<usize>,
+    sources: Vec<(usize, usize)>,
+    /// Destination-table index of each source entry (parallel to
+    /// `sources`): rank `r`'s `k`-th source chunk delivers exactly
+    /// `pieces[piece_base[d]..piece_base[d + 1]]` where
+    /// `d = src_dest[src_base[r] + k]` — receivers look their pieces up
+    /// without re-searching the destination lists.
+    src_dest: Vec<usize>,
+}
+
+/// The offset-bearing tables of one compiled schedule — the only columns a
+/// translation has to rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScheduleGeom {
+    /// Per-slot covering read range; `u64::MAX`/`0` sentinel when the slot
+    /// holds no requested bytes.
+    read_lo: Vec<u64>,
+    read_hi: Vec<u64>,
+    pieces: Vec<Piece>,
+}
+
+/// A [`CollectivePlan`] compiled into flat lookup tables.
+///
+/// Answers are bit-identical to the query methods of the plan it was built
+/// from (property-tested in `tests/`), but cost O(1) or a slice borrow
+/// instead of a rescan, and cloning shares the tables.
+#[derive(Debug, Clone)]
+pub struct PlanSchedule {
+    plan: CollectivePlan,
+    index: Arc<ScheduleIndex>,
+    geom: Arc<ScheduleGeom>,
+}
+
+impl PlanSchedule {
+    /// Compiles `plan` with one linear co-sweep over all ranks' offset
+    /// lists. Cost is O(total extents + slots + pieces + ranks), after
+    /// which every query is allocation-free.
+    ///
+    /// The sweep is domain-major: one aggregator's file domain at a time,
+    /// walking each rank's extents from a persistent cursor (domains and
+    /// extents both ascend, so every extent is visited once, plus once per
+    /// domain boundary it spans). That keeps the counting-sort that groups
+    /// a slot's pieces by destination inside a per-domain scratch small
+    /// enough to stay cache-resident, and makes every global table a
+    /// sequential append — slots are emitted in `(agg, iter)` order.
+    pub fn compile(plan: CollectivePlan) -> Self {
+        let naggs = plan.aggregators.len();
+        let nprocs = plan.requests.len();
+        let cb = plan.cb;
+
+        // Slot layout: one slot per (aggregator, iteration).
+        let mut iter_base = Vec::with_capacity(naggs + 1);
+        iter_base.push(0usize);
+        for a in 0..naggs {
+            iter_base.push(iter_base[a] + plan.n_iterations(a));
+        }
+        let slots = iter_base[naggs];
+
+        let mut read_lo = vec![u64::MAX; slots];
+        let mut read_hi = vec![0u64; slots];
+        let mut active_base = Vec::with_capacity(naggs + 1);
+        let mut active_iters = Vec::new();
+        active_base.push(0usize);
+        let mut dest_base = Vec::with_capacity(slots + 1);
+        dest_base.push(0usize);
+        let mut dest_rank = Vec::new();
+        let mut piece_base = Vec::new();
+        let mut pieces: Vec<Piece> = Vec::new();
+        // Source lists are per-rank but emitted domain-major; collect them
+        // per rank (aggregator order is preserved) with the destination
+        // entry each source corresponds to, and concatenate below. A rank
+        // rarely has more sources than extents, so reserving that much
+        // avoids growth reallocations in the common case.
+        let mut rank_sources: Vec<Vec<(usize, usize, usize)>> = plan
+            .requests
+            .iter()
+            .map(|r| Vec::with_capacity(r.extents().len()))
+            .collect();
+
+        // Per-rank sweep cursor: index of the first extent not fully behind
+        // the domains processed so far, and its request-buffer offset.
+        let mut cursor = vec![0usize; nprocs];
+        let mut bufpos = vec![0u64; nprocs];
+
+        // Per-domain scratch, reused across aggregators. Records are
+        // rank-major and iteration-sorted within a rank (extents ascend).
+        let mut recs: Vec<(u32, u32, Piece)> = Vec::new(); // (it, rank, piece)
+        let mut piece_count: Vec<usize> = Vec::new();
+        let mut dest_count: Vec<usize> = Vec::new();
+        let mut last_rank: Vec<usize> = Vec::new();
+        let mut next_piece: Vec<usize> = Vec::new();
+        let mut next_dest: Vec<usize> = Vec::new();
+        let mut local_pieces: Vec<Piece> = Vec::new();
+        let mut local_dest_rank: Vec<usize> = Vec::new();
+        let mut local_piece_base: Vec<usize> = Vec::new();
+
+        // Every extent yields at least one piece; reserving the common case
+        // up front keeps the append-only growth of the largest table from
+        // re-copying it.
+        pieces.reserve(plan.requests.iter().map(|r| r.extents().len()).sum());
+
+        for a in 0..naggs {
+            let (dlo, dhi) = plan.domains[a];
+            let n_it = iter_base[a + 1] - iter_base[a];
+            if dlo >= dhi || n_it == 0 {
+                active_base.push(active_iters.len());
+                continue;
+            }
+            recs.clear();
+            // Piece and destination counts per iteration, gathered during
+            // the sweep: every record is one piece, and a destination opens
+            // exactly when a rank first touches an iteration — the same
+            // transition that emits the rank's source entry (one rank's
+            // records for an iteration are contiguous, ranks ascend).
+            piece_count.clear();
+            piece_count.resize(n_it, 0);
+            dest_count.clear();
+            dest_count.resize(n_it, 0);
+            for r in 0..nprocs {
+                let exts = plan.requests[r].extents();
+                let mut i = cursor[r];
+                let mut buf = bufpos[r];
+                while i < exts.len() && exts[i].end() <= dlo {
+                    buf += exts[i].len;
+                    i += 1;
+                }
+                let mut prev_it = usize::MAX;
+                // Rolling chunk cursor: extents ascend, so the first
+                // overlapped iteration only moves forward. The division is
+                // needed only when an extent spans several chunks.
+                let mut cur_it = 0usize;
+                let mut cur_end = dlo + cb;
+                while i < exts.len() {
+                    let e = exts[i];
+                    if e.offset >= dhi {
+                        break;
+                    }
+                    let clip_lo = e.offset.max(dlo);
+                    let clip_hi = e.end().min(dhi);
+                    if clip_lo < clip_hi {
+                        while clip_lo >= cur_end {
+                            cur_it += 1;
+                            cur_end += cb;
+                        }
+                        let first = cur_it;
+                        let last = if clip_hi <= cur_end {
+                            cur_it
+                        } else {
+                            ((clip_hi - 1 - dlo) / cb) as usize
+                        };
+                        for it in first..=last {
+                            let c_lo = dlo + cb * it as u64;
+                            let c_hi = (c_lo + cb).min(dhi);
+                            let p_lo = clip_lo.max(c_lo);
+                            let p_hi = clip_hi.min(c_hi);
+                            debug_assert!(p_lo < p_hi);
+                            let slot = iter_base[a] + it;
+                            read_lo[slot] = read_lo[slot].min(p_lo);
+                            read_hi[slot] = read_hi[slot].max(p_hi);
+                            piece_count[it] += 1;
+                            recs.push((
+                                it as u32,
+                                r as u32,
+                                Piece {
+                                    extent: Extent {
+                                        offset: p_lo,
+                                        len: p_hi - p_lo,
+                                    },
+                                    buf_offset: buf + (p_lo - e.offset),
+                                },
+                            ));
+                            if it != prev_it {
+                                prev_it = it;
+                                dest_count[it] += 1;
+                            }
+                        }
+                    }
+                    if e.end() <= dhi {
+                        buf += e.len;
+                        i += 1;
+                    } else {
+                        // Spans into the next domain: leave the cursor on it.
+                        break;
+                    }
+                }
+                cursor[r] = i;
+                bufpos[r] = buf;
+            }
+
+            // Relative write cursors for this domain's slots, and the CSR
+            // boundaries they imply.
+            next_piece.clear();
+            next_dest.clear();
+            let piece_off0 = pieces.len();
+            let dest_off0 = dest_rank.len();
+            let mut p = 0usize;
+            let mut d = 0usize;
+            for it in 0..n_it {
+                next_piece.push(p);
+                next_dest.push(d);
+                p += piece_count[it];
+                d += dest_count[it];
+                dest_base.push(dest_off0 + d);
+            }
+
+            // Stable scatter within this domain's slots: pieces land in
+            // rank order (record order) and file order, so each
+            // destination's pieces are contiguous and `piece_base[d]` is the
+            // piece cursor at the moment destination `d` opens. The scatter
+            // goes through small reused staging buffers (cache-resident),
+            // and the global tables grow by one sequential append per
+            // domain.
+            // Grow-only staging: the scatter writes every one of the `p`
+            // piece and `d` destination entries, so stale tails never leak
+            // and re-zeroing the buffers each domain would be a wasted
+            // second write pass.
+            if local_pieces.len() < p {
+                local_pieces.resize(
+                    p,
+                    Piece {
+                        extent: Extent { offset: 0, len: 0 },
+                        buf_offset: 0,
+                    },
+                );
+            }
+            if local_dest_rank.len() < d {
+                local_dest_rank.resize(d, 0);
+                local_piece_base.resize(d, 0);
+            }
+            last_rank.clear();
+            last_rank.resize(n_it, usize::MAX);
+            for &(it, r, piece) in &recs {
+                let (it, r) = (it as usize, r as usize);
+                if last_rank[it] != r {
+                    last_rank[it] = r;
+                    let d = next_dest[it];
+                    next_dest[it] += 1;
+                    local_dest_rank[d] = r;
+                    local_piece_base[d] = piece_off0 + next_piece[it];
+                }
+                local_pieces[next_piece[it]] = piece;
+                next_piece[it] += 1;
+            }
+            pieces.extend_from_slice(&local_pieces[..p]);
+            dest_rank.extend_from_slice(&local_dest_rank[..d]);
+            piece_base.extend_from_slice(&local_piece_base[..d]);
+
+            // Source lists: walking this domain's destinations slot-major
+            // visits each rank's chunks in (aggregator, iteration) order, so
+            // appending per rank preserves the deterministic source order —
+            // and records which destination entry the source's pieces live
+            // under.
+            let mut dd = 0usize;
+            for (it, &c) in dest_count.iter().enumerate() {
+                for _ in 0..c {
+                    rank_sources[local_dest_rank[dd]].push((a, it, dest_off0 + dd));
+                    dd += 1;
+                }
+            }
+
+            for (it, &c) in piece_count.iter().enumerate() {
+                if c > 0 {
+                    active_iters.push(it);
+                }
+            }
+            active_base.push(active_iters.len());
+        }
+        piece_base.push(pieces.len());
+
+        let mut src_base = Vec::with_capacity(nprocs + 1);
+        src_base.push(0usize);
+        let total_sources = rank_sources.iter().map(Vec::len).sum();
+        let mut sources = Vec::with_capacity(total_sources);
+        let mut src_dest = Vec::with_capacity(total_sources);
+        for per_rank in &rank_sources {
+            for &(a, it, d) in per_rank {
+                sources.push((a, it));
+                src_dest.push(d);
+            }
+            src_base.push(sources.len());
+        }
+
+        Self {
+            plan,
+            index: Arc::new(ScheduleIndex {
+                iter_base,
+                active_base,
+                active_iters,
+                dest_base,
+                dest_rank,
+                piece_base,
+                src_base,
+                sources,
+                src_dest,
+            }),
+            geom: Arc::new(ScheduleGeom {
+                read_lo,
+                read_hi,
+                pieces,
+            }),
+        }
+    }
+
+    /// The plan this schedule was compiled from (or translated to).
+    pub fn plan(&self) -> &CollectivePlan {
+        &self.plan
+    }
+
+    /// The index in the aggregator list of rank `r`, if it aggregates.
+    pub fn aggregator_index(&self, rank: usize) -> Option<usize> {
+        self.plan.aggregator_index(rank)
+    }
+
+    /// The rank of aggregator `agg_idx`.
+    pub fn aggregator_rank(&self, agg_idx: usize) -> usize {
+        self.plan.aggregators[agg_idx]
+    }
+
+    /// Number of collective-buffer iterations of aggregator `agg_idx`.
+    pub fn n_iterations(&self, agg_idx: usize) -> usize {
+        self.index.iter_base[agg_idx + 1] - self.index.iter_base[agg_idx]
+    }
+
+    /// The file range `[lo, hi)` of iteration `iter` of `agg_idx`.
+    pub fn chunk(&self, agg_idx: usize, iter: usize) -> (u64, u64) {
+        self.plan.chunk(agg_idx, iter)
+    }
+
+    /// The iterations of `agg_idx` that contain requested bytes, ascending.
+    pub fn active_iterations(&self, agg_idx: usize) -> &[usize] {
+        let t = &self.index;
+        &t.active_iters[t.active_base[agg_idx]..t.active_base[agg_idx + 1]]
+    }
+
+    /// Whether aggregator `agg_idx` has any work at all.
+    pub fn is_active(&self, agg_idx: usize) -> bool {
+        !self.active_iterations(agg_idx).is_empty()
+    }
+
+    /// The covering extent read in chunk `(agg_idx, iter)`, `None` if the
+    /// chunk holds no requested bytes.
+    pub fn read_range(&self, agg_idx: usize, iter: usize) -> Option<(u64, u64)> {
+        let slot = self.index.iter_base[agg_idx] + iter;
+        let (lo, hi) = (self.geom.read_lo[slot], self.geom.read_hi[slot]);
+        (lo < hi).then_some((lo, hi))
+    }
+
+    /// The ranks receiving bytes from chunk `(agg_idx, iter)`, ascending.
+    pub fn destinations(&self, agg_idx: usize, iter: usize) -> &[usize] {
+        let t = &self.index;
+        let slot = t.iter_base[agg_idx] + iter;
+        &t.dest_rank[t.dest_base[slot]..t.dest_base[slot + 1]]
+    }
+
+    /// The pieces of chunk `(agg_idx, iter)` destined for `rank`, in file
+    /// order. Empty if the rank takes nothing from the chunk.
+    pub fn pieces_for(&self, agg_idx: usize, iter: usize, rank: usize) -> &[Piece] {
+        let t = &self.index;
+        let slot = t.iter_base[agg_idx] + iter;
+        let dests = &t.dest_rank[t.dest_base[slot]..t.dest_base[slot + 1]];
+        match dests.binary_search(&rank) {
+            Ok(i) => {
+                let d = t.dest_base[slot] + i;
+                &self.geom.pieces[t.piece_base[d]..t.piece_base[d + 1]]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Every destination of chunk `(agg_idx, iter)` with its piece slice,
+    /// in ascending rank order — the aggregator hot loop, with no lookup
+    /// at all.
+    pub fn dests_with_pieces(
+        &self,
+        agg_idx: usize,
+        iter: usize,
+    ) -> impl Iterator<Item = (usize, &[Piece])> {
+        let t = &*self.index;
+        let g = &*self.geom;
+        let slot = t.iter_base[agg_idx] + iter;
+        (t.dest_base[slot]..t.dest_base[slot + 1]).map(move |d| {
+            (
+                t.dest_rank[d],
+                &g.pieces[t.piece_base[d]..t.piece_base[d + 1]],
+            )
+        })
+    }
+
+    /// All `(agg_idx, iter)` chunks holding bytes for `rank`, in
+    /// deterministic (aggregator, iteration) order.
+    pub fn sources_for(&self, rank: usize) -> &[(usize, usize)] {
+        let t = &self.index;
+        &t.sources[t.src_base[rank]..t.src_base[rank + 1]]
+    }
+
+    /// [`Self::sources_for`] with each source's piece slice attached — the
+    /// receiver hot loop. Equivalent to calling [`Self::pieces_for`] per
+    /// source, but reads the destination index recorded at compile time
+    /// instead of re-searching the destination list.
+    pub fn sources_with_pieces(
+        &self,
+        rank: usize,
+    ) -> impl Iterator<Item = (usize, usize, &[Piece])> {
+        let t = &*self.index;
+        let g = &*self.geom;
+        (t.src_base[rank]..t.src_base[rank + 1]).map(move |k| {
+            let (a, it) = t.sources[k];
+            let d = t.src_dest[k];
+            (a, it, &g.pieces[t.piece_base[d]..t.piece_base[d + 1]])
+        })
+    }
+
+    /// Translates this schedule to `new_requests`, which must be the
+    /// compiled requests shifted so that the global minimum offset moves
+    /// from `old_lo` to `new_lo` (same shape, same hints, same topology —
+    /// the cache verifies all of this). The index tables are shared by
+    /// `Arc` unchanged; only the offset-bearing geometry columns are
+    /// rewritten. Much cheaper than a recompile: a flat copy-and-add with
+    /// no scanning or branching.
+    fn translate(&self, new_requests: Arc<Vec<OffsetList>>, old_lo: u64, new_lo: u64) -> Self {
+        let shift = |x: u64| new_lo + (x - old_lo);
+        let t = &*self.geom;
+        let read_lo = t
+            .read_lo
+            .iter()
+            .map(|&lo| if lo == u64::MAX { u64::MAX } else { shift(lo) })
+            .collect();
+        let read_hi = t
+            .read_hi
+            .iter()
+            .map(|&hi| if hi == 0 { 0 } else { shift(hi) })
+            .collect();
+        let pieces = t
+            .pieces
+            .iter()
+            .map(|p| Piece {
+                extent: Extent {
+                    offset: shift(p.extent.offset),
+                    len: p.extent.len,
+                },
+                buf_offset: p.buf_offset,
+            })
+            .collect();
+        let plan = CollectivePlan {
+            aggregators: self.plan.aggregators.clone(),
+            domains: self
+                .plan
+                .domains
+                .iter()
+                .map(|&(lo, hi)| (shift(lo), shift(hi)))
+                .collect(),
+            cb: self.plan.cb,
+            requests: new_requests,
+        };
+        Self {
+            plan,
+            index: Arc::clone(&self.index),
+            geom: Arc::new(ScheduleGeom {
+                read_lo,
+                read_hi,
+                pieces,
+            }),
+        }
+    }
+}
+
+/// How a [`PlanCache`] lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Requests were bitwise identical to a cached step: tables shared.
+    Hit,
+    /// Requests were a constant-offset shift of a cached step: tables
+    /// translated.
+    Translated,
+    /// No reusable entry: compiled from scratch.
+    Miss,
+}
+
+/// Counters of one cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Exact reuses (identical requests).
+    pub hits: u64,
+    /// Offset-translation reuses.
+    pub translations: u64,
+    /// Full compiles.
+    pub misses: u64,
+}
+
+/// The key a compiled schedule is filed under: the *shape* of the request
+/// set — every rank's extents normalized to the global minimum offset —
+/// plus everything else the plan depends on. Two steps of a timestep sweep
+/// share a key exactly when one is a constant shift of the other.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    shape_hash: u64,
+    nprocs: usize,
+    topology: Topology,
+    hints: Hints,
+}
+
+struct CacheEntry {
+    /// The requests the schedule was compiled from, for verification.
+    requests: Arc<Vec<OffsetList>>,
+    /// Their global minimum offset (0 for an all-empty set).
+    lo: u64,
+    schedule: PlanSchedule,
+}
+
+/// A cache of compiled schedules for iterative sweeps.
+///
+/// Keys combine a request-shape fingerprint with the hints, rank count,
+/// and topology (anything that changes the partition or chunking). On a
+/// key match the requests are verified extent-by-extent against the cached
+/// step, so a fingerprint collision degrades to a recompile, never to a
+/// wrong schedule. The translation fast path additionally requires the
+/// offset delta to be a multiple of `align_domains_to` (when set) —
+/// domain alignment rounds *absolute* offsets, so only then is the
+/// partition translation-equivariant.
+#[derive(Default)]
+pub struct PlanCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Returns the compiled schedule for `requests`, reusing or
+    /// translating a cached one when the request shape matches a previous
+    /// step. Deterministic across ranks: every rank makes the identical
+    /// decision from the identical inputs.
+    pub fn get_or_compile(
+        &mut self,
+        requests: impl Into<Arc<Vec<OffsetList>>>,
+        topology: &Topology,
+        nprocs: usize,
+        hints: &Hints,
+    ) -> PlanSchedule {
+        let (schedule, _) = self.get_or_compile_traced(requests, topology, nprocs, hints);
+        schedule
+    }
+
+    /// [`get_or_compile`](Self::get_or_compile), also reporting how the
+    /// lookup was satisfied.
+    pub fn get_or_compile_traced(
+        &mut self,
+        requests: impl Into<Arc<Vec<OffsetList>>>,
+        topology: &Topology,
+        nprocs: usize,
+        hints: &Hints,
+    ) -> (PlanSchedule, CacheOutcome) {
+        let requests: Arc<Vec<OffsetList>> = requests.into();
+        let lo = global_lo(&requests);
+        let key = CacheKey {
+            shape_hash: shape_fingerprint(&requests, lo),
+            nprocs,
+            topology: topology.clone(),
+            hints: hints.clone(),
+        };
+        if let Some(entry) = self.entries.get(&key) {
+            if same_shape(&entry.requests, entry.lo, &requests, lo) {
+                if lo == entry.lo {
+                    // Same shape at the same offset: bitwise-equal requests.
+                    self.stats.hits += 1;
+                    let mut schedule = entry.schedule.clone();
+                    schedule.plan.requests = requests;
+                    return (schedule, CacheOutcome::Hit);
+                }
+                let delta_aligned = match hints.align_domains_to {
+                    Some(a) => (lo as i128 - entry.lo as i128).rem_euclid(a as i128) == 0,
+                    None => true,
+                };
+                if delta_aligned {
+                    self.stats.translations += 1;
+                    let schedule = entry.schedule.translate(requests, entry.lo, lo);
+                    return (schedule, CacheOutcome::Translated);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let plan = CollectivePlan::build(Arc::clone(&requests), topology, nprocs, hints);
+        let schedule = PlanSchedule::compile(plan);
+        self.entries.insert(
+            key,
+            CacheEntry {
+                requests,
+                lo,
+                schedule: schedule.clone(),
+            },
+        );
+        (schedule, CacheOutcome::Miss)
+    }
+}
+
+/// The global minimum requested offset (0 when every rank is empty),
+/// matching the plan's file-range origin.
+fn global_lo(requests: &[OffsetList]) -> u64 {
+    requests
+        .iter()
+        .filter_map(|r| r.min_offset())
+        .min()
+        .unwrap_or(0)
+}
+
+/// Hashes every rank's extents relative to `lo`, so two translated steps
+/// fingerprint identically.
+fn shape_fingerprint(requests: &[OffsetList], lo: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    requests.len().hash(&mut h);
+    for r in requests {
+        0xD1Du64.hash(&mut h); // rank separator
+        for e in r.extents() {
+            (e.offset - lo).hash(&mut h);
+            e.len.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Exact shape comparison (fingerprints can collide): every rank must have
+/// the same extents relative to the respective global minima.
+fn same_shape(a: &[OffsetList], a_lo: u64, b: &[OffsetList], b_lo: u64) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.extents().len() == rb.extents().len()
+                && ra.extents().iter().zip(rb.extents()).all(|(ea, eb)| {
+                    ea.offset - a_lo == eb.offset - b_lo && ea.len == eb.len
+                })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hints(cb: u64) -> Hints {
+        Hints {
+            cb_buffer_size: cb,
+            aggregators_per_node: 1,
+            nonblocking: true,
+            align_domains_to: None,
+        }
+    }
+
+    /// Compares every answer of `sched` against the query-based oracle.
+    fn assert_matches_oracle(plan: &CollectivePlan, sched: &PlanSchedule) {
+        let naggs = plan.aggregators.len();
+        for a in 0..naggs {
+            assert_eq!(sched.n_iterations(a), plan.n_iterations(a), "n_iterations({a})");
+            assert_eq!(
+                sched.active_iterations(a),
+                plan.active_iterations(a).as_slice(),
+                "active_iterations({a})"
+            );
+            for it in 0..plan.n_iterations(a) {
+                assert_eq!(sched.read_range(a, it), plan.read_range(a, it), "read_range({a},{it})");
+                assert_eq!(
+                    sched.destinations(a, it),
+                    plan.destinations(a, it).as_slice(),
+                    "destinations({a},{it})"
+                );
+                for rank in 0..plan.requests.len() {
+                    assert_eq!(
+                        sched.pieces_for(a, it, rank),
+                        plan.pieces_for(a, it, rank).as_slice(),
+                        "pieces_for({a},{it},{rank})"
+                    );
+                }
+                let from_iter: Vec<(usize, &[Piece])> = sched.dests_with_pieces(a, it).collect();
+                let dests = sched.destinations(a, it);
+                assert_eq!(from_iter.len(), dests.len());
+                for ((r, ps), &d) in from_iter.iter().zip(dests) {
+                    assert_eq!(*r, d);
+                    assert_eq!(*ps, sched.pieces_for(a, it, d));
+                }
+            }
+        }
+        for rank in 0..plan.requests.len() {
+            assert_eq!(
+                sched.sources_for(rank),
+                plan.sources_for(rank).as_slice(),
+                "sources_for({rank})"
+            );
+            let with_pieces: Vec<(usize, usize, &[Piece])> =
+                sched.sources_with_pieces(rank).collect();
+            assert_eq!(with_pieces.len(), sched.sources_for(rank).len());
+            for ((a, it, ps), &(oa, oit)) in
+                with_pieces.iter().zip(sched.sources_for(rank))
+            {
+                assert_eq!((*a, *it), (oa, oit));
+                assert_eq!(
+                    *ps,
+                    plan.pieces_for(*a, *it, rank).as_slice(),
+                    "sources_with_pieces({rank}) at ({a},{it})"
+                );
+            }
+        }
+    }
+
+    fn interleaved(nprocs: usize, pieces: u64, len: u64) -> Vec<OffsetList> {
+        (0..nprocs as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..pieces)
+                        .map(|k| Extent {
+                            offset: r * len + k * len * nprocs as u64,
+                            len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_matches_oracle_on_interleaved_pattern() {
+        let topo = Topology::new(2, 2);
+        let reqs = interleaved(4, 20, 10);
+        let plan = CollectivePlan::build(reqs, &topo, 4, &hints(64));
+        let sched = PlanSchedule::compile(plan.clone());
+        assert_matches_oracle(&plan, &sched);
+    }
+
+    #[test]
+    fn compiled_matches_oracle_with_empty_ranks_and_holes() {
+        let topo = Topology::new(1, 4);
+        let reqs = vec![
+            OffsetList::empty(),
+            OffsetList::new(vec![
+                Extent { offset: 10, len: 5 },
+                Extent { offset: 900, len: 30 },
+            ]),
+            OffsetList::empty(),
+            OffsetList::new(vec![Extent { offset: 500, len: 1 }]),
+        ];
+        let plan = CollectivePlan::build(reqs, &topo, 4, &hints(100));
+        let sched = PlanSchedule::compile(plan.clone());
+        assert_matches_oracle(&plan, &sched);
+    }
+
+    #[test]
+    fn compiled_matches_oracle_on_empty_request_set() {
+        let topo = Topology::new(1, 2);
+        let plan = CollectivePlan::build(
+            vec![OffsetList::empty(), OffsetList::empty()],
+            &topo,
+            2,
+            &hints(64),
+        );
+        let sched = PlanSchedule::compile(plan.clone());
+        assert_matches_oracle(&plan, &sched);
+        assert!(sched.sources_for(0).is_empty());
+    }
+
+    #[test]
+    fn cache_hits_on_identical_requests() {
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 8, 16);
+        let mut cache = PlanCache::new();
+        let (s1, o1) = cache.get_or_compile_traced(reqs.clone(), &topo, 2, &hints(64));
+        let (s2, o2) = cache.get_or_compile_traced(reqs, &topo, 2, &hints(64));
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&s1.index, &s2.index), "hit must share index tables");
+        assert!(Arc::ptr_eq(&s1.geom, &s2.geom), "hit must share geometry tables");
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, translations: 0, misses: 1 });
+    }
+
+    #[test]
+    fn cache_translates_shifted_requests() {
+        let topo = Topology::new(2, 2);
+        let base = interleaved(4, 12, 8);
+        let delta = 4096u64;
+        let shifted: Vec<OffsetList> = base
+            .iter()
+            .map(|r| {
+                OffsetList::new(
+                    r.extents()
+                        .iter()
+                        .map(|e| Extent {
+                            offset: e.offset + delta,
+                            len: e.len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut cache = PlanCache::new();
+        let (compiled, o1) = cache.get_or_compile_traced(base, &topo, 4, &hints(64));
+        let (translated, o2) = cache.get_or_compile_traced(shifted.clone(), &topo, 4, &hints(64));
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Translated);
+        // Translation shares the shape-invariant index tables outright...
+        assert!(
+            Arc::ptr_eq(&compiled.index, &translated.index),
+            "translation must share index tables"
+        );
+        // ...and the whole schedule must be bit-identical to a fresh compile.
+        let fresh_plan = CollectivePlan::build(shifted, &topo, 4, &hints(64));
+        let fresh = PlanSchedule::compile(fresh_plan.clone());
+        assert_eq!(translated.plan.domains, fresh.plan.domains);
+        assert_eq!(*translated.index, *fresh.index);
+        assert_eq!(*translated.geom, *fresh.geom);
+        assert_matches_oracle(&fresh_plan, &translated);
+    }
+
+    #[test]
+    fn cache_refuses_unaligned_translation() {
+        // With domain alignment, a shift that is not an alignment multiple
+        // changes the partition — the cache must recompile.
+        let topo = Topology::new(1, 2);
+        let h = Hints {
+            align_domains_to: Some(64),
+            ..hints(64)
+        };
+        let base = interleaved(2, 6, 16);
+        let shifted: Vec<OffsetList> = base
+            .iter()
+            .map(|r| {
+                OffsetList::new(
+                    r.extents()
+                        .iter()
+                        .map(|e| Extent {
+                            offset: e.offset + 33, // not a multiple of 64
+                            len: e.len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut cache = PlanCache::new();
+        let (_, o1) = cache.get_or_compile_traced(base, &topo, 2, &h);
+        let (sched, o2) = cache.get_or_compile_traced(shifted.clone(), &topo, 2, &h);
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Miss);
+        let fresh_plan = CollectivePlan::build(shifted, &topo, 2, &h);
+        assert_matches_oracle(&fresh_plan, &sched);
+    }
+
+    #[test]
+    fn cache_distinguishes_hints() {
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 4, 8);
+        let mut cache = PlanCache::new();
+        let _ = cache.get_or_compile(reqs.clone(), &topo, 2, &hints(64));
+        let (_, o) = cache.get_or_compile_traced(reqs, &topo, 2, &hints(128));
+        assert_eq!(o, CacheOutcome::Miss);
+    }
+
+    prop_compose! {
+        /// Random per-rank requests: some ranks empty, sparse holes.
+        fn arb_requests(max_ranks: usize)(
+            per_rank in proptest::collection::vec(
+                proptest::collection::vec((0u64..200, 0u64..40), 0..10),
+                1..max_ranks + 1,
+            ),
+        ) -> Vec<OffsetList> {
+            per_rank
+                .into_iter()
+                .map(|pairs| {
+                    let mut pos = 0u64;
+                    let mut extents = Vec::new();
+                    for (gap, len) in pairs {
+                        pos += gap + 1;
+                        extents.push(Extent { offset: pos, len });
+                        pos += len;
+                    }
+                    OffsetList::new(extents)
+                })
+                .collect()
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schedule_equals_oracle(
+            reqs in arb_requests(5),
+            cb in 1u64..300,
+            nodes in 1usize..3,
+            align in proptest::option::of(1u64..96),
+        ) {
+            let nprocs = reqs.len();
+            let cores = nprocs.div_ceil(nodes);
+            let topo = Topology::new(nodes, cores.max(1));
+            let h = Hints { align_domains_to: align, ..hints(cb) };
+            let plan = CollectivePlan::build(reqs, &topo, nprocs, &h);
+            let sched = PlanSchedule::compile(plan.clone());
+            assert_matches_oracle(&plan, &sched);
+        }
+
+        #[test]
+        fn prop_translated_equals_fresh(
+            reqs in arb_requests(4),
+            cb in 1u64..200,
+            delta_steps in 1u64..50,
+            align in proptest::option::of(1u64..64),
+        ) {
+            let nprocs = reqs.len();
+            let topo = Topology::new(1, nprocs);
+            let h = Hints { align_domains_to: align, ..hints(cb) };
+            // Keep the shift partition-safe: a multiple of the alignment.
+            let delta = delta_steps * align.unwrap_or(1);
+            let shifted: Vec<OffsetList> = reqs
+                .iter()
+                .map(|r| OffsetList::new(
+                    r.extents()
+                        .iter()
+                        .map(|e| Extent { offset: e.offset + delta, len: e.len })
+                        .collect(),
+                ))
+                .collect();
+            let mut cache = PlanCache::new();
+            let _ = cache.get_or_compile(reqs, &topo, nprocs, &h);
+            let (cached, outcome) =
+                cache.get_or_compile_traced(shifted.clone(), &topo, nprocs, &h);
+            let fresh_plan = CollectivePlan::build(shifted, &topo, nprocs, &h);
+            let fresh = PlanSchedule::compile(fresh_plan.clone());
+            prop_assert_eq!(cached.plan.domains.clone(), fresh.plan.domains.clone());
+            prop_assert_eq!(&*cached.index, &*fresh.index);
+            prop_assert_eq!(&*cached.geom, &*fresh.geom);
+            assert_matches_oracle(&fresh_plan, &cached);
+            // All-empty request sets shift to themselves (delta has nothing
+            // to move), so they come back as exact hits.
+            let all_empty = fresh_plan.requests.iter().all(|r| r.is_empty());
+            if all_empty || delta == 0 {
+                prop_assert_eq!(outcome, CacheOutcome::Hit);
+            } else {
+                prop_assert_eq!(outcome, CacheOutcome::Translated);
+            }
+        }
+    }
+}

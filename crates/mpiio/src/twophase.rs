@@ -23,6 +23,7 @@ use crate::exchange::exchange_requests;
 use crate::extent::OffsetList;
 use crate::hints::Hints;
 use crate::plan::CollectivePlan;
+use crate::schedule::{PlanCache, PlanSchedule};
 
 /// Tag base for read-shuffle messages (outside the user and collective
 /// spaces). Each collective stamps its sequence number into the low bits
@@ -115,6 +116,22 @@ pub fn collective_read(
     my_request: &OffsetList,
     hints: &Hints,
 ) -> (Vec<u8>, TwoPhaseReport) {
+    collective_read_cached(comm, pfs, file, my_request, hints, None)
+}
+
+/// [`collective_read`] with an optional plan cache: when `cache` is given,
+/// the compiled schedule of a previous step with the same (or
+/// offset-shifted) request shape is reused instead of recompiled. Every
+/// rank must pass a cache with identical contents (or none) — the schedule
+/// decision must stay symmetric.
+pub fn collective_read_cached(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    my_request: &OffsetList,
+    hints: &Hints,
+    cache: Option<&mut PlanCache>,
+) -> (Vec<u8>, TwoPhaseReport) {
     // Entry time is captured before the request exchange: the exchange is
     // itself a collective that synchronizes clocks, so capturing it later
     // would erase the late arrival of a straggler rank.
@@ -123,12 +140,16 @@ pub fn collective_read(
         ..TwoPhaseReport::default()
     };
     let requests = exchange_requests(comm, my_request);
-    let plan = CollectivePlan::build(
-        requests,
-        &comm.model().topology.clone(),
-        comm.nprocs(),
-        hints,
-    );
+    let topology = comm.model().topology.clone();
+    let schedule = match cache {
+        Some(cache) => cache.get_or_compile(requests, &topology, comm.nprocs(), hints),
+        None => PlanSchedule::compile(CollectivePlan::build(
+            requests,
+            &topology,
+            comm.nprocs(),
+            hints,
+        )),
+    };
     // Every rank passed through the request exchange above, so the engine
     // tag counter is identical on all ranks: this collective's shuffle
     // traffic gets a unique tag, distinct from the previous and next calls.
@@ -137,24 +158,23 @@ pub fn collective_read(
 
     // --- Aggregator role: read chunks and scatter pieces. --------------
     let mut agg_done = comm.clock();
-    if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
+    if let Some(agg_idx) = schedule.aggregator_index(comm.rank()) {
         agg_done = run_aggregator(
-            comm, pfs, file, &plan, agg_idx, tag, hints, &mut report, &mut buf,
+            comm, pfs, file, &schedule, agg_idx, tag, hints, &mut report, &mut buf,
         );
     }
 
     // --- Receiver role: collect pieces from every sending chunk. -------
     let mut done = agg_done;
     let cpu = comm.model().cpu.clone();
-    for (a, i) in plan.sources_for(comm.rank()) {
-        let agg_rank = plan.aggregators[a];
+    for (a, _, pieces) in schedule.sources_with_pieces(comm.rank()) {
+        let agg_rank = schedule.aggregator_rank(a);
         if agg_rank == comm.rank() {
             continue; // own pieces were placed locally by the aggregator loop
         }
         let (payload, info) = comm.recv_bytes_no_clock(agg_rank, tag);
-        let pieces = plan.pieces_for(a, i, comm.rank());
         let mut cursor = 0usize;
-        for p in &pieces {
+        for p in pieces {
             let len = p.extent.len as usize;
             buf[p.buf_offset as usize..p.buf_offset as usize + len]
                 .copy_from_slice(&payload[cursor..cursor + len]);
@@ -183,7 +203,7 @@ fn run_aggregator(
     comm: &mut Comm,
     pfs: &Pfs,
     file: &FileHandle,
-    plan: &CollectivePlan,
+    schedule: &PlanSchedule,
     agg_idx: usize,
     tag: TagValue,
     hints: &Hints,
@@ -204,8 +224,8 @@ fn run_aggregator(
     // One staging buffer reused across iterations — reads land in place.
     let mut chunk = Vec::new();
 
-    for iter in plan.active_iterations(agg_idx) {
-        let Some((rlo, rhi)) = plan.read_range(agg_idx, iter) else {
+    for &iter in schedule.active_iterations(agg_idx) {
+        let Some((rlo, rhi)) = schedule.read_range(agg_idx, iter) else {
             continue;
         };
         // Phase 1: read the covering extent.
@@ -225,13 +245,12 @@ fn run_aggregator(
         // Phase 2: pack and post pieces per destination.
         let shuffle_start = read_done.max(shuffle_lane.free_at());
         let mut shuffle_end = shuffle_start;
-        for dst in plan.destinations(agg_idx, iter) {
-            let pieces = plan.pieces_for(agg_idx, iter, dst);
+        for (dst, pieces) in schedule.dests_with_pieces(agg_idx, iter) {
             let piece_bytes: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
             if dst == comm.rank() {
                 // Local placement: just a copy, no message.
                 let t = shuffle_lane.acquire(read_done, cpu.memcpy_time(piece_bytes));
-                for p in &pieces {
+                for p in pieces {
                     let src = (p.extent.offset - rlo) as usize;
                     buf[p.buf_offset as usize..p.buf_offset as usize + p.extent.len as usize]
                         .copy_from_slice(&chunk[src..src + p.extent.len as usize]);
@@ -241,7 +260,7 @@ fn run_aggregator(
             }
             let mut payload = comm.take_buf();
             payload.reserve(piece_bytes);
-            for p in &pieces {
+            for p in pieces {
                 let src = (p.extent.offset - rlo) as usize;
                 payload.extend_from_slice(&chunk[src..src + p.extent.len as usize]);
             }

@@ -19,6 +19,7 @@ use crate::exchange::exchange_requests;
 use crate::extent::{Extent, OffsetList};
 use crate::hints::Hints;
 use crate::plan::CollectivePlan;
+use crate::schedule::{PlanCache, PlanSchedule};
 
 /// Tag base for write-shuffle messages; each collective stamps its
 /// sequence number into the low bits (see `Comm::next_engine_tag`).
@@ -61,18 +62,37 @@ pub fn collective_write(
     data: &[u8],
     hints: &Hints,
 ) -> WriteReport {
+    collective_write_cached(comm, pfs, file, my_request, data, hints, None)
+}
+
+/// [`collective_write`] with an optional plan cache (see
+/// [`collective_read_cached`](crate::twophase::collective_read_cached) for
+/// the symmetry requirement on `cache`).
+pub fn collective_write_cached(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    my_request: &OffsetList,
+    data: &[u8],
+    hints: &Hints,
+    cache: Option<&mut PlanCache>,
+) -> WriteReport {
     assert_eq!(
         data.len() as u64,
         my_request.total_bytes(),
         "write buffer does not match the request size"
     );
     let requests = exchange_requests(comm, my_request);
-    let plan = CollectivePlan::build(
-        requests,
-        &comm.model().topology.clone(),
-        comm.nprocs(),
-        hints,
-    );
+    let topology = comm.model().topology.clone();
+    let schedule = match cache {
+        Some(cache) => cache.get_or_compile(requests, &topology, comm.nprocs(), hints),
+        None => PlanSchedule::compile(CollectivePlan::build(
+            requests,
+            &topology,
+            comm.nprocs(),
+            hints,
+        )),
+    };
     // All ranks passed through the request exchange, so the counter is
     // symmetric and this collective's shuffle tag is unique to it.
     let tag = comm.next_engine_tag(TAG_WRITE_SHUFFLE);
@@ -84,17 +104,16 @@ pub fn collective_write(
     // --- Sender role: scatter my pieces to the owning aggregators. -----
     let cpu = comm.model().cpu.clone();
     let mut send_lane = Lane::free_from(comm.clock());
-    for (a, iter) in plan.sources_for(comm.rank()) {
-        let agg_rank = plan.aggregators[a];
+    for (a, _, pieces) in schedule.sources_with_pieces(comm.rank()) {
+        let agg_rank = schedule.aggregator_rank(a);
         if agg_rank == comm.rank() {
             // Own pieces are handed over locally in the aggregator loop.
             continue;
         }
-        let pieces = plan.pieces_for(a, iter, comm.rank());
         let piece_bytes: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
         let mut payload = comm.take_buf();
         payload.reserve(piece_bytes);
-        for p in &pieces {
+        for p in pieces {
             let lo = p.buf_offset as usize;
             payload.extend_from_slice(&data[lo..lo + p.extent.len as usize]);
         }
@@ -115,12 +134,12 @@ pub fn collective_write(
 
     // --- Aggregator role: assemble chunks and write. --------------------
     let mut done = sends_done;
-    if let Some(agg_idx) = plan.aggregator_index(comm.rank()) {
+    if let Some(agg_idx) = schedule.aggregator_index(comm.rank()) {
         done = done.max(run_write_aggregator(
             comm,
             pfs,
             file,
-            &plan,
+            &schedule,
             agg_idx,
             tag,
             hints,
@@ -141,7 +160,7 @@ fn run_write_aggregator(
     comm: &mut Comm,
     pfs: &Pfs,
     file: &FileHandle,
-    plan: &CollectivePlan,
+    schedule: &PlanSchedule,
     agg_idx: usize,
     tag: TagValue,
     hints: &Hints,
@@ -157,18 +176,17 @@ fn run_write_aggregator(
     // One assembly buffer reused (re-zeroed) across iterations.
     let mut chunk = Vec::new();
 
-    for iter in plan.active_iterations(agg_idx) {
-        let (clo, chi) = plan.chunk(agg_idx, iter);
+    for &iter in schedule.active_iterations(agg_idx) {
+        let (clo, chi) = schedule.chunk(agg_idx, iter);
         chunk.clear();
         chunk.resize((chi - clo) as usize, 0);
         let mut extents: Vec<Extent> = Vec::new();
         let mut arrival = recv_done;
-        for src in plan.destinations(agg_idx, iter) {
-            let pieces = plan.pieces_for(agg_idx, iter, src);
+        for (src, pieces) in schedule.dests_with_pieces(agg_idx, iter) {
             let payload: Vec<u8>;
             if src == comm.rank() {
                 let mut own = comm.take_buf();
-                for p in &pieces {
+                for p in pieces {
                     let lo = p.buf_offset as usize;
                     own.extend_from_slice(&my_data[lo..lo + p.extent.len as usize]);
                 }
@@ -185,7 +203,7 @@ fn run_write_aggregator(
                 payload = bytes;
             }
             let mut cursor = 0usize;
-            for p in &pieces {
+            for p in pieces {
                 let off = (p.extent.offset - clo) as usize;
                 let len = p.extent.len as usize;
                 chunk[off..off + len].copy_from_slice(&payload[cursor..cursor + len]);

@@ -48,11 +48,27 @@ impl OstState {
             start = start.max(b_end);
         }
         let end = start + dur;
-        self.busy.insert(pos.min(self.busy.len()), (start, end));
-        self.coalesce();
+        // The gap search guarantees the new interval overlaps nothing, and
+        // `pos` is its sorted position — merge in place with whichever
+        // neighbours it exactly abuts (`start` came from a neighbour's end,
+        // so abutment is exact equality).
+        let abuts_prev = pos > 0 && self.busy[pos - 1].1 == start;
+        let abuts_next = pos < self.busy.len() && end == self.busy[pos].0;
+        match (abuts_prev, abuts_next) {
+            (true, true) => {
+                self.busy[pos - 1].1 = self.busy[pos].1;
+                self.busy.remove(pos);
+            }
+            (true, false) => self.busy[pos - 1].1 = end,
+            (false, true) => self.busy[pos].0 = start,
+            (false, false) => self.busy.insert(pos, (start, end)),
+        }
         end
     }
 
+    /// Re-sorts and merges the interval list. [`book`](Self::book) keeps
+    /// the list coalesced incrementally; this is only needed after an
+    /// out-of-order push like [`block_until`](Self::block_until).
     fn coalesce(&mut self) {
         self.busy.sort_by_key(|&(s, _)| s);
         let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(self.busy.len());
