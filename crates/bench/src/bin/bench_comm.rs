@@ -1,0 +1,88 @@
+//! Measures flat vs topology-aware hierarchical communication on the
+//! two-phase shuffle and writes `BENCH_comm.json`.
+//!
+//! The full configuration is the EXPERIMENTS.md 512-rank cluster (32
+//! nodes x 16 cores) with a rank-interleaved request pattern; `--quick`
+//! shrinks to 32 ranks for CI smoke runs. Both modes must return
+//! bit-identical shuffle bytes and a bit-identical noncommutative
+//! allreduce result (the rank-order gate); the hierarchical mode must cut
+//! inter-node message counts by at least 4x and finish the shuffle at an
+//! earlier virtual time. The speedup is from paying the inter-node
+//! per-message overhead once per node pair instead of once per rank pair
+//! — not from moving fewer bytes or answering a smaller request set.
+
+use cc_bench::comm::{run_comm, CommBenchConfig};
+use cc_bench::Scale;
+use cc_model::CollectiveMode;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = CommBenchConfig::for_scale(scale);
+
+    let flat = run_comm(&cfg, CollectiveMode::Flat);
+    let hier = run_comm(&cfg, CollectiveMode::Hierarchical);
+
+    // Correctness gates: identical bytes, identical reduce order.
+    assert_eq!(
+        flat.checksum, hier.checksum,
+        "hierarchical shuffle bytes diverged from flat"
+    );
+    assert_eq!(
+        flat.reduce_bits, hier.reduce_bits,
+        "hierarchical reduce folded ranks in a different order"
+    );
+
+    // Performance gates: the tentpole claims.
+    let inter_cut = flat.stats.msgs_inter as f64 / hier.stats.msgs_inter.max(1) as f64;
+    let speedup = flat.virt_end.secs() / hier.virt_end.secs();
+    assert!(
+        inter_cut >= 4.0,
+        "inter-node message cut {inter_cut:.2}x below the 4x floor \
+         (flat {} hier {})",
+        flat.stats.msgs_inter,
+        hier.stats.msgs_inter
+    );
+    assert!(
+        speedup > 1.0,
+        "hierarchical shuffle lost virtual wall-clock: flat {} hier {}",
+        flat.virt_end,
+        hier.virt_end
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"comm_flat_vs_hier\",\n  \"scale\": \"{}\",\n  \"nprocs\": {},\n  \"nodes\": {},\n  \"cores_per_node\": {},\n  \"extents_per_rank\": {},\n  \"extent_len\": {},\n  \"cb_buffer_size\": {},\n  \"checksum_match\": true,\n  \"reduce_rank_order_match\": true,\n  \"inter_msg_reduction\": {:.2},\n  \"shuffle_speedup\": {:.3},\n  \"flat\": {{ \"virt_secs\": {:.6}, \"msgs_inter\": {}, \"msgs_intra\": {}, \"bytes_inter\": {}, \"bytes_intra\": {}, \"host_secs\": {:.3} }},\n  \"hier\": {{ \"virt_secs\": {:.6}, \"msgs_inter\": {}, \"msgs_intra\": {}, \"bytes_inter\": {}, \"bytes_intra\": {}, \"host_secs\": {:.3} }}\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        cfg.nprocs(),
+        cfg.nodes,
+        cfg.cores,
+        cfg.extents_per_rank,
+        cfg.extent_len,
+        cfg.cb,
+        inter_cut,
+        speedup,
+        flat.virt_end.secs(),
+        flat.stats.msgs_inter,
+        flat.stats.msgs_intra,
+        flat.stats.bytes_inter,
+        flat.stats.bytes_intra,
+        flat.host_secs,
+        hier.virt_end.secs(),
+        hier.stats.msgs_inter,
+        hier.stats.msgs_intra,
+        hier.stats.bytes_inter,
+        hier.stats.bytes_intra,
+        hier.host_secs,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_comm.json", &json).expect("write BENCH_comm.json");
+    eprintln!(
+        "hierarchical collectives: {inter_cut:.1}x fewer inter-node messages, \
+         {speedup:.2}x shuffle wall-clock speedup ({} ranks = {} nodes x {} cores)",
+        cfg.nprocs(),
+        cfg.nodes,
+        cfg.cores
+    );
+}

@@ -1,0 +1,230 @@
+//! Flat vs hierarchical communication: the scenario behind
+//! `BENCH_comm.json`.
+//!
+//! Runs the identical two-phase read shuffle twice — once with
+//! [`CollectiveMode::Flat`], once with [`CollectiveMode::Hierarchical`] —
+//! on a Hopper-like cluster with a rank-interleaved request pattern, the
+//! worst case for per-destination messaging: every collective-buffer chunk
+//! holds pieces for every rank, so a flat aggregator posts one inter-node
+//! message per remote rank while the hierarchical one posts one coalesced
+//! frame per remote *node*. The binary compares checksums (must be
+//! bit-identical), inter-node message counts (coalescing must cut them by
+//! the fan-in), and the latest virtual completion time (paying the
+//! inter-node posting overhead once per node pair must win wall-clock).
+//!
+//! A noncommutative-but-associative allreduce rides along as the
+//! rank-order gate: 2x2 wrapping-u64 matrix products agree bitwise between
+//! the flat and hierarchical reduce trees only if both fold ranks in
+//! ascending rank order.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cc_model::{ClusterModel, CollectiveMode, SimTime};
+use cc_mpi::ops::FnOp;
+use cc_mpi::{CommStats, World};
+use cc_mpiio::{collective_read, Extent, Hints, OffsetList};
+use cc_pfs::{MemBackend, Pfs, StripeLayout};
+
+use crate::Scale;
+
+/// Shape of one comm-bench scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct CommBenchConfig {
+    /// Nodes in the virtual cluster.
+    pub nodes: usize,
+    /// Cores (ranks) per node.
+    pub cores: usize,
+    /// Interleaved extents per rank.
+    pub extents_per_rank: usize,
+    /// Bytes per extent.
+    pub extent_len: u64,
+    /// Collective buffer size in bytes.
+    pub cb: u64,
+}
+
+impl CommBenchConfig {
+    /// The documented configuration for `scale`: the full run is the
+    /// EXPERIMENTS.md 512-rank cluster (32 nodes x 16 cores), quick is a
+    /// 32-rank smoke version with the same qualitative shape.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self {
+                nodes: 4,
+                cores: 8,
+                extents_per_rank: 16,
+                extent_len: 64,
+                cb: 16 << 10,
+            },
+            Scale::Full => Self {
+                nodes: 32,
+                cores: 16,
+                extents_per_rank: 32,
+                extent_len: 64,
+                cb: 256 << 10,
+            },
+        }
+    }
+
+    /// Total ranks.
+    pub fn nprocs(&self) -> usize {
+        self.nodes * self.cores
+    }
+
+    /// Total file bytes touched by the request set.
+    pub fn file_bytes(&self) -> u64 {
+        self.nprocs() as u64 * self.extents_per_rank as u64 * self.extent_len
+    }
+
+    /// Rank-interleaved requests: rank `r` takes the `r`-th
+    /// `extent_len`-sized slice of every `nprocs`-wide group, so every
+    /// chunk of every aggregator holds pieces for every rank.
+    pub fn requests(&self) -> Vec<OffsetList> {
+        let p = self.nprocs() as u64;
+        (0..p)
+            .map(|r| {
+                OffsetList::new(
+                    (0..self.extents_per_rank as u64)
+                        .map(|k| Extent {
+                            offset: (r + k * p) * self.extent_len,
+                            len: self.extent_len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// What one mode's run produced.
+#[derive(Debug, Clone)]
+pub struct CommRun {
+    /// FNV-1a checksum over every rank's returned bytes, in rank order.
+    pub checksum: u64,
+    /// The noncommutative allreduce result (identical on all ranks) —
+    /// the rank-order gate.
+    pub reduce_bits: Vec<u64>,
+    /// Latest virtual completion time across ranks.
+    pub virt_end: SimTime,
+    /// Communication counters merged over all ranks.
+    pub stats: CommStats,
+    /// Host seconds the simulation took (throughput, not a claim).
+    pub host_secs: f64,
+}
+
+/// 2x2 wrapping-u64 matrix product, block-wise over the slice:
+/// associative but *not* commutative, so flat and hierarchical reduce
+/// trees agree bitwise only when both fold ranks in ascending order.
+fn matmul2(acc: &mut [u64], inc: &[u64]) {
+    for (a, b) in acc.chunks_exact_mut(4).zip(inc.chunks_exact(4)) {
+        let m = [
+            a[0].wrapping_mul(b[0]).wrapping_add(a[1].wrapping_mul(b[2])),
+            a[0].wrapping_mul(b[1]).wrapping_add(a[1].wrapping_mul(b[3])),
+            a[2].wrapping_mul(b[0]).wrapping_add(a[3].wrapping_mul(b[2])),
+            a[2].wrapping_mul(b[1]).wrapping_add(a[3].wrapping_mul(b[3])),
+        ];
+        a.copy_from_slice(&m);
+    }
+}
+
+/// Runs the two-phase shuffle plus the rank-order allreduce under `mode`.
+pub fn run_comm(cfg: &CommBenchConfig, mode: CollectiveMode) -> CommRun {
+    let nprocs = cfg.nprocs();
+    let size = cfg.file_bytes() as usize;
+    let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    let osts = 8;
+    let fs = Pfs::new(
+        osts,
+        cc_model::DiskModel {
+            seek: 1e-3,
+            ost_bandwidth: 1e9,
+        },
+    );
+    fs.create(
+        "data",
+        StripeLayout::round_robin(1 << 20, osts, 0, osts),
+        Box::new(MemBackend::from_bytes(data)),
+    );
+    let fs = Arc::new(fs);
+    let requests = Arc::new(cfg.requests());
+    let model = ClusterModel::hopper_like(cfg.nodes, cfg.cores).with_collectives(mode);
+    let world = World::new(nprocs, model);
+    let started = Instant::now();
+    let per_rank = {
+        let fs = &fs;
+        let requests = &requests;
+        let cb = cfg.cb;
+        world.run(move |comm| {
+            let file = fs.open("data").expect("file exists");
+            let (bytes, report) = collective_read(
+                comm,
+                fs,
+                &file,
+                &requests[comm.rank()],
+                &Hints {
+                    cb_buffer_size: cb,
+                    ..Hints::default()
+                },
+            );
+            let r = comm.rank() as u64;
+            let mine = [
+                r.wrapping_mul(3).wrapping_add(1),
+                r.wrapping_add(7),
+                r ^ 0x9e37_79b9,
+                r.wrapping_mul(13).wrapping_add(5),
+            ];
+            let reduced = comm.allreduce(&mine, &FnOp(matmul2));
+            (bytes, reduced, report.end, comm.stats())
+        })
+    };
+    let host_secs = started.elapsed().as_secs_f64();
+
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut virt_end = SimTime::ZERO;
+    let mut stats = CommStats::default();
+    let reduce_bits = per_rank[0].1.clone();
+    for (rank, (bytes, reduced, end, s)) in per_rank.iter().enumerate() {
+        assert_eq!(
+            reduced, &reduce_bits,
+            "allreduce result diverged on rank {rank}"
+        );
+        for &b in bytes {
+            checksum = (checksum ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        virt_end = virt_end.max(*end);
+        stats.merge(s);
+    }
+    CommRun {
+        checksum,
+        reduce_bits,
+        virt_end,
+        stats,
+        host_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_modes_agree_and_hier_cuts_inter_traffic() {
+        let cfg = CommBenchConfig::for_scale(Scale::Quick);
+        let flat = run_comm(&cfg, CollectiveMode::Flat);
+        let hier = run_comm(&cfg, CollectiveMode::Hierarchical);
+        assert_eq!(flat.checksum, hier.checksum, "shuffle data diverged");
+        assert_eq!(flat.reduce_bits, hier.reduce_bits, "reduce order diverged");
+        assert!(
+            hier.stats.msgs_inter * 4 <= flat.stats.msgs_inter,
+            "expected >=4x inter-node message cut: flat {} hier {}",
+            flat.stats.msgs_inter,
+            hier.stats.msgs_inter
+        );
+        assert!(
+            hier.virt_end < flat.virt_end,
+            "hierarchical shuffle should win virtual wall-clock: flat {} hier {}",
+            flat.virt_end,
+            hier.virt_end
+        );
+    }
+}

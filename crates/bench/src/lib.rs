@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod comm;
 pub mod figs;
 pub mod hotpath;
 pub mod plan;

@@ -175,9 +175,12 @@ pub fn scaled_model(base: &ClusterModel, scale: f64) -> ClusterModel {
     m.disk.ost_bandwidth /= scale;
     m.net.bw_intra /= scale;
     m.net.bw_inter /= scale;
-    // Piece counts shrink with the data, so the per-piece scatter cost
-    // grows to keep the shuffle:read ratio at paper scale.
+    // Piece and message counts shrink with the data, so the per-piece
+    // scatter cost and per-message posting costs grow to keep the
+    // shuffle:read ratio at paper scale.
     m.net.scatter_overhead *= scale;
+    m.net.msg_overhead_intra *= scale;
+    m.net.msg_overhead_inter *= scale;
     m.cpu.map_cost_per_byte *= scale;
     m.cpu.memcpy_cost_per_byte *= scale;
     // Entry/element counts shrink with the data, so per-entry costs grow

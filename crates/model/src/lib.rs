@@ -29,6 +29,22 @@ pub use pipeline::{BufferRing, Lane};
 pub use time::SimTime;
 pub use topology::Topology;
 
+/// How the runtime maps collectives and shuffles onto the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveMode {
+    /// Pick per run: hierarchical when the world spans multiple multi-core
+    /// nodes, flat otherwise (where hierarchy would only add hops).
+    #[default]
+    Auto,
+    /// Always the topology-oblivious flat algorithms (one message per rank
+    /// pair / binomial over ranks).
+    Flat,
+    /// Request node-leader hierarchical algorithms; the runtime still falls
+    /// back to flat when `cores_per_node == 1` or only one node is in use,
+    /// since there is nothing to coalesce.
+    Hierarchical,
+}
+
 /// The complete cost model for a simulated cluster: topology plus network,
 /// disk, and CPU parameters. One `ClusterModel` is shared (immutably) by all
 /// rank threads of a run.
@@ -52,6 +68,9 @@ pub struct ClusterModel {
     /// high; test models drop it to seconds so a reintroduced hang fails
     /// the suite fast.
     pub recv_watchdog: Duration,
+    /// Whether collectives and shuffles use the flat or the node-leader
+    /// hierarchical algorithms (`Auto` decides per run from the topology).
+    pub collectives: CollectiveMode,
 }
 
 impl ClusterModel {
@@ -67,6 +86,7 @@ impl ClusterModel {
             cpu: CpuModel::magny_cours_like(),
             fault: None,
             recv_watchdog: Duration::from_secs(120),
+            collectives: CollectiveMode::Auto,
         }
     }
 
@@ -82,6 +102,8 @@ impl ClusterModel {
                 bw_inter: 1e9,
                 send_overhead: 1e-7,
                 scatter_overhead: 1e-7,
+                msg_overhead_intra: 1e-7,
+                msg_overhead_inter: 1e-6,
             },
             disk: DiskModel {
                 seek: 1e-4,
@@ -97,7 +119,14 @@ impl ClusterModel {
             // Tests fail fast: a receive blocked this long in real time is
             // a genuine deadlock, not a slow peer.
             recv_watchdog: Duration::from_secs(30),
+            collectives: CollectiveMode::Auto,
         }
+    }
+
+    /// Overrides the collective algorithm selection.
+    pub fn with_collectives(mut self, mode: CollectiveMode) -> Self {
+        self.collectives = mode;
+        self
     }
 
     /// Attaches a fault-injection plan (network delays, stragglers).

@@ -30,6 +30,16 @@ pub struct NetModel {
     /// hundred ranks, and is calibrated so the per-iteration shuffle cost
     /// approaches the read cost, as the paper measures on Hopper (Fig. 1).
     pub scatter_overhead: f64,
+    /// Per-message cost of posting one *intra-node* shuffle message
+    /// (seconds): matching, queueing, and shared-memory handoff. Charged
+    /// once per posted message regardless of how many pieces it carries.
+    pub msg_overhead_intra: f64,
+    /// Per-message cost of posting one *inter-node* shuffle message
+    /// (seconds): NIC doorbell, descriptor setup, and rendezvous/progress
+    /// overhead on the interconnect. Much larger than the intra-node cost;
+    /// coalescing many per-rank messages into one per-node frame trades
+    /// many of these for a few of the cheap intra-node ones.
+    pub msg_overhead_inter: f64,
 }
 
 impl NetModel {
@@ -44,6 +54,8 @@ impl NetModel {
             bw_inter: 1.2e9,
             send_overhead: 4e-7,
             scatter_overhead: 1e-5,
+            msg_overhead_intra: 8e-7,
+            msg_overhead_inter: 8e-6,
         }
     }
 
@@ -55,6 +67,16 @@ impl NetModel {
     /// The sender-side cost of one scatter piece (shuffle path).
     pub fn scatter_cost(&self) -> SimTime {
         SimTime::from_secs(self.scatter_overhead)
+    }
+
+    /// The sender-side cost of posting one shuffle message to a rank that
+    /// does (not) share a node, independent of message size.
+    pub fn msg_cost(&self, same_node: bool) -> SimTime {
+        SimTime::from_secs(if same_node {
+            self.msg_overhead_intra
+        } else {
+            self.msg_overhead_inter
+        })
     }
 
     /// The serialization-only time of `bytes` on the sender's NIC (no
@@ -130,5 +152,15 @@ mod tests {
         // The scatter path (pack + post + progress per piece) costs far
         // more than a bare send posting.
         assert!(m.scatter_cost() > m.send_cost());
+    }
+
+    #[test]
+    fn inter_node_message_posting_dominates_intra() {
+        let m = NetModel::gemini_like();
+        assert_eq!(m.msg_cost(true).secs(), m.msg_overhead_intra);
+        assert_eq!(m.msg_cost(false).secs(), m.msg_overhead_inter);
+        // Coalescing only pays off if an interconnect message costs
+        // meaningfully more to post than a shared-memory one.
+        assert!(m.msg_cost(false) >= m.msg_cost(true).scale(4.0));
     }
 }

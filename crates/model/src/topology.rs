@@ -44,6 +44,33 @@ impl Topology {
         self.nodes * self.cores_per_node
     }
 
+    /// The leader rank of `node`: its lowest rank slot. Hierarchical
+    /// collectives route all of a node's interconnect traffic through this
+    /// rank.
+    pub fn leader_of_node(&self, node: usize) -> usize {
+        node * self.cores_per_node
+    }
+
+    /// The leader rank of the node hosting `rank`.
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.leader_of_node(self.node_of(rank))
+    }
+
+    /// The half-open range `[lo, hi)` of live ranks on `node` when only
+    /// `nprocs` ranks are running. Empty (`lo == hi`) for nodes beyond the
+    /// populated prefix.
+    pub fn node_range(&self, node: usize, nprocs: usize) -> (usize, usize) {
+        let lo = (node * self.cores_per_node).min(nprocs);
+        let hi = ((node + 1) * self.cores_per_node).min(nprocs);
+        (lo, hi)
+    }
+
+    /// How many nodes actually host ranks when `nprocs` ranks are running
+    /// (blockwise placement fills nodes in order).
+    pub fn nodes_used(&self, nprocs: usize) -> usize {
+        nprocs.div_ceil(self.cores_per_node).min(self.nodes)
+    }
+
     /// Selects I/O aggregator ranks: `per_node` aggregators on each node,
     /// spread evenly across that node's cores, restricted to ranks below
     /// `nprocs`. This mirrors ROMIO's default of one (or a few) aggregators
@@ -91,6 +118,26 @@ mod tests {
         assert_eq!(t.node_of(11), 2);
         assert!(t.same_node(4, 7));
         assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn leaders_and_node_ranges() {
+        let t = Topology::new(3, 4);
+        assert_eq!(t.leader_of_node(0), 0);
+        assert_eq!(t.leader_of_node(2), 8);
+        assert_eq!(t.leader_of(0), 0);
+        assert_eq!(t.leader_of(3), 0);
+        assert_eq!(t.leader_of(5), 4);
+        // Full world: every node holds its whole block.
+        assert_eq!(t.node_range(1, 12), (4, 8));
+        // Partial world: the last populated node is truncated, later
+        // nodes are empty.
+        assert_eq!(t.node_range(1, 6), (4, 6));
+        assert_eq!(t.node_range(2, 6), (6, 6));
+        assert_eq!(t.nodes_used(12), 3);
+        assert_eq!(t.nodes_used(6), 2);
+        assert_eq!(t.nodes_used(4), 1);
+        assert_eq!(t.nodes_used(1), 1);
     }
 
     #[test]

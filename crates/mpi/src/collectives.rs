@@ -48,9 +48,14 @@ impl Comm {
     }
 
     /// Binomial-tree broadcast of a byte buffer from `root`. Every rank
-    /// returns the payload.
+    /// returns the payload. Dispatches to the node-leader hierarchical
+    /// algorithm (see `hier.rs`) when the topology supports it.
     pub fn bcast_bytes(&mut self, root: usize, data: Option<Vec<u8>>) -> Vec<u8> {
         let tag = self.next_collective_tag();
+        assert!(root < self.nprocs(), "bcast root {root} out of range");
+        if let Some(view) = self.hier_view() {
+            return self.hier_bcast_bytes(&view, root, data, tag);
+        }
         let p = self.nprocs();
         assert!(root < p, "bcast root {root} out of range");
         let vrank = (self.rank() + p - root) % p;
@@ -101,12 +106,24 @@ impl Comm {
         out
     }
 
-    /// Flat gather of variable-length contributions to `root`. Returns
-    /// `Some(contributions_by_rank)` on the root, `None` elsewhere.
+    /// Gather of variable-length contributions to `root`. Returns
+    /// `Some(contributions_by_rank)` on the root, `None` elsewhere. Flat
+    /// (direct sends, exactly ROMIO's offset-list exchange) on a single
+    /// node; remote nodes coalesce through their leader otherwise.
     pub fn gatherv<T: Elem>(&mut self, root: usize, mine: &[T]) -> Option<Vec<Vec<T>>> {
         let tag = self.next_collective_tag();
         let p = self.nprocs();
         assert!(root < p, "gather root {root} out of range");
+        if let Some(view) = self.hier_view() {
+            let bytes = crate::elem::encode_slice(mine);
+            let out = self.hier_gatherv_bytes(&view, root, &bytes, tag);
+            return out.map(|blocks| {
+                blocks
+                    .into_iter()
+                    .map(|b| crate::elem::decode_vec(&b))
+                    .collect()
+            });
+        }
         if self.rank() == root {
             let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
             out[root] = mine.to_vec();
@@ -121,10 +138,19 @@ impl Comm {
         }
     }
 
-    /// Ring allgather of variable-length contributions: every rank returns
-    /// all ranks' contributions, indexed by rank.
+    /// Allgather of variable-length contributions: every rank returns all
+    /// ranks' contributions, indexed by rank. Ring algorithm when flat;
+    /// hierarchical gather-to-zero plus frame broadcast otherwise.
     pub fn allgatherv<T: Elem>(&mut self, mine: &[T]) -> Vec<Vec<T>> {
         let tag = self.next_collective_tag();
+        if let Some(view) = self.hier_view() {
+            let bytes = crate::elem::encode_slice(mine);
+            return self
+                .hier_allgatherv_bytes(&view, &bytes, tag)
+                .into_iter()
+                .map(|b| crate::elem::decode_vec(&b))
+                .collect();
+        }
         let p = self.nprocs();
         let rank = self.rank();
         let mut blocks: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
@@ -149,6 +175,9 @@ impl Comm {
     /// source. The self-block is moved without a message.
     pub fn alltoallv_bytes(&mut self, mut sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         let tag = self.next_collective_tag();
+        if let Some(view) = self.hier_view() {
+            return self.hier_alltoallv_bytes(&view, sends, tag);
+        }
         let p = self.nprocs();
         assert_eq!(sends.len(), p, "alltoallv needs one buffer per rank");
         let rank = self.rank();
@@ -206,6 +235,9 @@ impl Comm {
         let tag = self.next_collective_tag();
         let p = self.nprocs();
         assert!(root < p, "reduce root {root} out of range");
+        if let Some(view) = self.hier_view() {
+            return self.hier_reduce(&view, root, data, op, tag);
+        }
         let rank = self.rank();
         let mut acc = data.to_vec();
         let mut bit = 1;

@@ -216,6 +216,9 @@ pub struct Comm {
     clock: SimTime,
     stats: CommStats,
     pool: BufferPool,
+    /// Self-sends, short-circuited past the shared mailbox: no lock, no
+    /// modeled transfer, no network stats. Only this thread touches it.
+    self_queue: VecDeque<Envelope>,
     pub(crate) collective_seq: u32,
 }
 
@@ -228,6 +231,7 @@ impl Comm {
             clock: SimTime::ZERO,
             stats: CommStats::default(),
             pool: BufferPool::new(),
+            self_queue: VecDeque::new(),
             collective_seq: 0,
         }
     }
@@ -332,6 +336,21 @@ impl Comm {
         depart: SimTime,
     ) -> SimTime {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        if dst == self.rank {
+            // Self-send short-circuit: the payload never leaves this thread,
+            // so there is no envelope in the shared mailbox, no modeled
+            // transfer or fault delay, and no network stats — the message
+            // "arrives" the moment it departs.
+            self.stats.msgs_self += 1;
+            self.stats.bytes_self += payload.len();
+            self.self_queue.push_back(Envelope {
+                src: self.rank,
+                tag,
+                arrival: depart,
+                payload,
+            });
+            return depart;
+        }
         let same_node = self.shared.model.topology.same_node(self.rank, dst);
         let mut arrival = depart + self.shared.model.net.transfer_time(payload.len(), same_node);
         // Injected link degradation: fixed per-link delay plus deterministic
@@ -341,6 +360,13 @@ impl Comm {
         }
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += payload.len();
+        if same_node {
+            self.stats.msgs_intra += 1;
+            self.stats.bytes_intra += payload.len();
+        } else {
+            self.stats.msgs_inter += 1;
+            self.stats.bytes_inter += payload.len();
+        }
         let env = Envelope {
             src: self.rank,
             tag,
@@ -351,6 +377,20 @@ impl Comm {
         lock_unpoisoned(&mailbox.queue).push_back(env);
         mailbox.arrived.notify_all();
         arrival
+    }
+
+    /// Pops the first queued self-delivery matching `src`/`tag`, if any.
+    /// Self-deliveries are not network messages, so the receive counters
+    /// stay untouched (the send side already counted it as a self message).
+    fn take_self(&mut self, src: Source, tag: TagValue) -> Option<(Vec<u8>, RecvInfo)> {
+        let pos = self.self_queue.iter().position(|e| e.matches(src, tag))?;
+        let env = self.self_queue.remove(pos).expect("position is in range");
+        let info = RecvInfo {
+            src: env.src,
+            tag: env.tag,
+            arrival: env.arrival,
+        };
+        Some((env.payload, info))
     }
 
     /// Receives one message matching `src`/`tag`, blocking until it arrives.
@@ -377,6 +417,12 @@ impl Comm {
         tag: TagValue,
     ) -> (Vec<u8>, RecvInfo) {
         let src = src.into();
+        // Self-sends never enter the shared mailbox; they can only already
+        // be queued locally (this thread cannot send while blocked here),
+        // so one check up front suffices.
+        if let Some(hit) = self.take_self(src, tag) {
+            return hit;
+        }
         let watchdog = self.shared.model.recv_watchdog;
         let mailbox = &self.shared.mailboxes[self.rank];
         let mut queue = lock_unpoisoned(&mailbox.queue);
@@ -424,6 +470,10 @@ impl Comm {
         tag: TagValue,
     ) -> Option<(Vec<u8>, RecvInfo)> {
         let src = src.into();
+        if let Some((payload, info)) = self.take_self(src, tag) {
+            self.set_clock(self.clock.max(info.arrival));
+            return Some((payload, info));
+        }
         let mailbox = &self.shared.mailboxes[self.rank];
         let mut queue = lock_unpoisoned(&mailbox.queue);
         let pos = queue.iter().position(|e| e.matches(src, tag))?;
@@ -646,6 +696,57 @@ mod tests {
         assert_eq!(results[0].bytes_sent, 80);
         assert_eq!(results[1].msgs_recv, 1);
         assert_eq!(results[1].bytes_recv, 80);
+    }
+
+    #[test]
+    fn self_send_short_circuits_the_network() {
+        let results = tiny(2).run(|comm| {
+            if comm.rank() == 0 {
+                let before = comm.clock();
+                comm.send(0, 42, &[7.0f64, 8.0]);
+                // FIFO with a second self message on the same tag.
+                comm.send(0, 42, &[9.0f64]);
+                let (a, info) = comm.recv::<f64>(0, 42);
+                assert_eq!(a, vec![7.0, 8.0]);
+                assert_eq!(info.src, 0);
+                // Arrival is the departure: no latency or transfer charged,
+                // only the sender-side overhead of the two posts.
+                let send_cost = comm.model().net.send_cost();
+                assert_eq!(info.arrival, before + send_cost);
+                let (b, _) = comm.recv::<f64>(Source::Any, 42);
+                assert_eq!(b, vec![9.0]);
+            }
+            comm.stats()
+        });
+        // Self-deliveries count as zero network messages on both sides.
+        assert_eq!(results[0].msgs_sent, 0);
+        assert_eq!(results[0].bytes_sent, 0);
+        assert_eq!(results[0].msgs_recv, 0);
+        assert_eq!(results[0].bytes_recv, 0);
+        assert_eq!(results[0].msgs_intra + results[0].msgs_inter, 0);
+        assert_eq!(results[0].msgs_self, 2);
+        assert_eq!(results[0].bytes_self, 24);
+    }
+
+    #[test]
+    fn stats_split_intra_and_inter_node() {
+        // 2 nodes x 2 cores: rank 0 -> 1 is intra, rank 0 -> 2 is inter.
+        let model = ClusterModel::hopper_like(2, 2);
+        let results = World::new(4, model).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1u8; 10]);
+                comm.send(2, 1, &[1u8; 30]);
+            } else if comm.rank() < 3 {
+                let _ = comm.recv::<u8>(0, 1);
+            }
+            comm.stats()
+        });
+        assert_eq!(results[0].msgs_intra, 1);
+        assert_eq!(results[0].bytes_intra, 10);
+        assert_eq!(results[0].msgs_inter, 1);
+        assert_eq!(results[0].bytes_inter, 30);
+        assert_eq!(results[0].msgs_sent, 2);
+        assert_eq!(results[0].bytes_sent, 40);
     }
 
     #[test]

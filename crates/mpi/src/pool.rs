@@ -7,18 +7,30 @@
 //! receivers return payload buffers once decoded. Buffers keep their
 //! capacity across recycling, so after warm-up the messaging layer stops
 //! touching the allocator.
+//!
+//! Retention is capped both by buffer *count* and by total retained
+//! *bytes*: a one-off giant shuffle (one huge coalesced frame per node,
+//! say) would otherwise park multi-megabyte allocations in the freelist
+//! for the rest of the run.
 
 /// A freelist of reusable `Vec<u8>` allocations.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Vec<Vec<u8>>,
+    free_bytes: usize,
     taken: u64,
     reused: u64,
+    evicted: u64,
 }
 
 /// Buffers retained beyond this count are dropped instead of pooled, so a
 /// burst (a wide alltoallv) cannot pin memory forever.
 const MAX_POOLED: usize = 64;
+
+/// Total capacity the freelist may retain. A buffer whose return would push
+/// the pool past this is dropped (evicted) instead of pooled, so a one-off
+/// giant message doesn't pin its allocation for the rest of the run.
+const MAX_POOLED_BYTES: usize = 64 << 20;
 
 impl BufferPool {
     /// An empty pool.
@@ -32,6 +44,7 @@ impl BufferPool {
         match self.free.pop() {
             Some(mut buf) => {
                 self.reused += 1;
+                self.free_bytes -= buf.capacity();
                 buf.clear();
                 buf
             }
@@ -39,17 +52,33 @@ impl BufferPool {
         }
     }
 
-    /// Returns a buffer's allocation to the pool.
+    /// Returns a buffer's allocation to the pool, dropping it instead when
+    /// the pool is at its count cap or retaining it would exceed the byte
+    /// cap.
     pub fn put(&mut self, buf: Vec<u8>) {
-        if buf.capacity() > 0 && self.free.len() < MAX_POOLED {
-            self.free.push(buf);
+        if buf.capacity() == 0 {
+            return;
         }
+        if self.free.len() >= MAX_POOLED
+            || self.free_bytes + buf.capacity() > MAX_POOLED_BYTES
+        {
+            self.evicted += 1;
+            return;
+        }
+        self.free_bytes += buf.capacity();
+        self.free.push(buf);
     }
 
     /// `(buffers handed out, of which reused)` — for steady-state
     /// allocation checks.
     pub fn stats(&self) -> (u64, u64) {
         (self.taken, self.reused)
+    }
+
+    /// `(buffers evicted at return time, bytes currently retained)` — for
+    /// memory-cap regression checks.
+    pub fn eviction_stats(&self) -> (u64, usize) {
+        (self.evicted, self.free_bytes)
     }
 }
 
@@ -78,14 +107,44 @@ mod tests {
         pool.put(Vec::new());
         let _ = pool.take();
         assert_eq!(pool.stats(), (1, 0));
+        // Dropping a capacityless buffer is not an eviction.
+        assert_eq!(pool.eviction_stats(), (0, 0));
     }
 
     #[test]
-    fn pool_is_bounded() {
+    fn pool_is_bounded_by_count() {
         let mut pool = BufferPool::new();
         for _ in 0..2 * MAX_POOLED {
             pool.put(Vec::with_capacity(8));
         }
         assert_eq!(pool.free.len(), MAX_POOLED);
+        let (evicted, retained) = pool.eviction_stats();
+        assert_eq!(evicted, MAX_POOLED as u64);
+        assert_eq!(retained, MAX_POOLED * 8);
+    }
+
+    #[test]
+    fn pool_is_bounded_by_bytes() {
+        let mut pool = BufferPool::new();
+        // A giant buffer that alone exceeds the byte cap is never
+        // retained...
+        pool.put(Vec::with_capacity(MAX_POOLED_BYTES + 1));
+        assert_eq!(pool.eviction_stats(), (1, 0));
+        // ...and once retained capacity is at the cap, further returns are
+        // evicted even though the count cap has headroom.
+        let half = MAX_POOLED_BYTES / 2;
+        pool.put(Vec::with_capacity(half));
+        pool.put(Vec::with_capacity(half));
+        assert_eq!(pool.eviction_stats(), (1, MAX_POOLED_BYTES));
+        pool.put(Vec::with_capacity(4096));
+        let (evicted, retained) = pool.eviction_stats();
+        assert_eq!(evicted, 2);
+        assert_eq!(retained, MAX_POOLED_BYTES);
+        assert!(pool.free.len() < MAX_POOLED);
+        // Taking a buffer frees its share of the budget, letting returns
+        // through again.
+        let _ = pool.take();
+        pool.put(Vec::with_capacity(4096));
+        assert_eq!(pool.eviction_stats(), (2, half + 4096));
     }
 }

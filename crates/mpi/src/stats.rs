@@ -2,7 +2,11 @@
 //!
 //! The overhead figures in the paper (Figs. 11-12) are fundamentally
 //! message/byte counts; keeping them on the communicator makes every
-//! benchmark's accounting come from the same source of truth.
+//! benchmark's accounting come from the same source of truth. Messages are
+//! classified by locality at post time — intra-node (shared memory),
+//! inter-node (interconnect), or self (delivered without touching the
+//! network at all) — so the hierarchical collectives' reduction in
+//! interconnect traffic is directly observable.
 
 /// Counters accumulated by one rank's [`Comm`](crate::Comm).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -15,6 +19,19 @@ pub struct CommStats {
     pub msgs_recv: usize,
     /// Payload bytes received by this rank.
     pub bytes_recv: usize,
+    /// Of `msgs_sent`: messages to a rank on the same node.
+    pub msgs_intra: usize,
+    /// Of `bytes_sent`: bytes to a rank on the same node.
+    pub bytes_intra: usize,
+    /// Of `msgs_sent`: messages that crossed the interconnect.
+    pub msgs_inter: usize,
+    /// Of `bytes_sent`: bytes that crossed the interconnect.
+    pub bytes_inter: usize,
+    /// Self-deliveries short-circuited past the mailbox. Not network
+    /// messages; excluded from every other counter.
+    pub msgs_self: usize,
+    /// Payload bytes of self-deliveries.
+    pub bytes_self: usize,
 }
 
 impl CommStats {
@@ -24,6 +41,12 @@ impl CommStats {
         self.bytes_sent += other.bytes_sent;
         self.msgs_recv += other.msgs_recv;
         self.bytes_recv += other.bytes_recv;
+        self.msgs_intra += other.msgs_intra;
+        self.bytes_intra += other.bytes_intra;
+        self.msgs_inter += other.msgs_inter;
+        self.bytes_inter += other.bytes_inter;
+        self.msgs_self += other.msgs_self;
+        self.bytes_self += other.bytes_self;
     }
 }
 
@@ -38,12 +61,24 @@ mod tests {
             bytes_sent: 10,
             msgs_recv: 2,
             bytes_recv: 20,
+            msgs_intra: 1,
+            bytes_intra: 10,
+            msgs_inter: 0,
+            bytes_inter: 0,
+            msgs_self: 5,
+            bytes_self: 50,
         };
         let b = CommStats {
             msgs_sent: 3,
             bytes_sent: 30,
             msgs_recv: 4,
             bytes_recv: 40,
+            msgs_intra: 1,
+            bytes_intra: 12,
+            msgs_inter: 2,
+            bytes_inter: 18,
+            msgs_self: 1,
+            bytes_self: 7,
         };
         a.merge(&b);
         assert_eq!(
@@ -53,6 +88,12 @@ mod tests {
                 bytes_sent: 40,
                 msgs_recv: 6,
                 bytes_recv: 60,
+                msgs_intra: 2,
+                bytes_intra: 22,
+                msgs_inter: 2,
+                bytes_inter: 18,
+                msgs_self: 6,
+                bytes_self: 57,
             }
         );
     }

@@ -439,6 +439,34 @@ impl PlanSchedule {
         })
     }
 
+    /// [`Self::dests_with_pieces`] restricted to destination ranks in
+    /// `[lo, hi)` — the hierarchical engines' per-node view of a slot.
+    /// Destination ranks ascend within a slot, so the restriction is a
+    /// binary-searched sub-slice, not a filter: node leaders pre-size
+    /// coalescing frames and enumerate their members' sections without
+    /// touching the destinations outside their node.
+    pub fn dests_with_pieces_in(
+        &self,
+        agg_idx: usize,
+        iter: usize,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = (usize, &[Piece])> {
+        let t = &*self.index;
+        let g = &*self.geom;
+        let slot = t.iter_base[agg_idx] + iter;
+        let (d0, d1) = (t.dest_base[slot], t.dest_base[slot + 1]);
+        let dests = &t.dest_rank[d0..d1];
+        let start = d0 + dests.partition_point(|&r| r < lo);
+        let end = d0 + dests.partition_point(|&r| r < hi);
+        (start..end).map(move |d| {
+            (
+                t.dest_rank[d],
+                &g.pieces[t.piece_base[d]..t.piece_base[d + 1]],
+            )
+        })
+    }
+
     /// All `(agg_idx, iter)` chunks holding bytes for `rank`, in
     /// deterministic (aggregator, iteration) order.
     pub fn sources_for(&self, rank: usize) -> &[(usize, usize)] {
@@ -735,6 +763,21 @@ mod tests {
                 for ((r, ps), &d) in from_iter.iter().zip(dests) {
                     assert_eq!(*r, d);
                     assert_eq!(*ps, sched.pieces_for(a, it, d));
+                }
+                // Every [lo, hi) window of the rank space must slice the
+                // full destination list exactly.
+                let nprocs = plan.requests.len();
+                for lo in 0..=nprocs {
+                    for hi in lo..=nprocs {
+                        let windowed: Vec<(usize, &[Piece])> =
+                            sched.dests_with_pieces_in(a, it, lo, hi).collect();
+                        let expected: Vec<(usize, &[Piece])> = from_iter
+                            .iter()
+                            .filter(|(r, _)| (lo..hi).contains(r))
+                            .cloned()
+                            .collect();
+                        assert_eq!(windowed, expected, "dests_with_pieces_in({a},{it},{lo},{hi})");
+                    }
                 }
             }
         }

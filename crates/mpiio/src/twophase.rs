@@ -14,8 +14,8 @@
 //! plus the OST queues inside [`Pfs`].
 
 use cc_model::{Lane, SimTime};
-use cc_mpi::comm::TagValue;
-use cc_mpi::Comm;
+use cc_mpi::comm::{TagValue, SEQ_MASK};
+use cc_mpi::{Comm, NodeView};
 use cc_pfs::{FileHandle, Pfs};
 use cc_profile::{Activity, Segment};
 
@@ -30,6 +30,18 @@ use crate::schedule::{PlanCache, PlanSchedule};
 /// via [`Comm::next_engine_tag`], so back-to-back collectives never
 /// cross-match even when a fast rank races ahead into the next call.
 pub(crate) const TAG_SHUFFLE: TagValue = 0x4000_0000;
+
+/// Tag base for coalesced read-shuffle frames: when hierarchical paths are
+/// active, an aggregator sends the pieces of one chunk bound for one
+/// *remote node* as a single frame to that node's leader instead of one
+/// message per destination rank.
+pub(crate) const TAG_SHUFFLE_FRAME: TagValue = 0x1000_0000;
+
+/// Tag base for the intra-node relay leg: the node leader splits a
+/// received frame into its members' sections and forwards each as one
+/// cheap intra-node message (its own section rides the self-send short
+/// circuit).
+pub(crate) const TAG_SHUFFLE_RELAY: TagValue = 0x2000_0000;
 
 /// Durations of one aggregator iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -154,25 +166,47 @@ pub fn collective_read_cached(
     // tag counter is identical on all ranks: this collective's shuffle
     // traffic gets a unique tag, distinct from the previous and next calls.
     let tag = comm.next_engine_tag(TAG_SHUFFLE);
+    let hier = comm.hier_view();
     let mut buf = vec![0u8; my_request.total_bytes() as usize];
 
     // --- Aggregator role: read chunks and scatter pieces. --------------
     let mut agg_done = comm.clock();
     if let Some(agg_idx) = schedule.aggregator_index(comm.rank()) {
         agg_done = run_aggregator(
-            comm, pfs, file, &schedule, agg_idx, tag, hints, &mut report, &mut buf,
+            comm,
+            pfs,
+            file,
+            &schedule,
+            agg_idx,
+            tag,
+            hints,
+            hier.as_ref(),
+            &mut report,
+            &mut buf,
         );
+    }
+
+    // --- Leader role: relay coalesced frames to the node's members. ----
+    if let Some(view) = hier.as_ref().filter(|v| v.is_leader(comm.rank())) {
+        agg_done = agg_done.max(relay_read_frames(comm, &schedule, view, tag, &mut report));
     }
 
     // --- Receiver role: collect pieces from every sending chunk. -------
     let mut done = agg_done;
     let cpu = comm.model().cpu.clone();
+    let relay_tag = TAG_SHUFFLE_RELAY | (tag & SEQ_MASK);
     for (a, _, pieces) in schedule.sources_with_pieces(comm.rank()) {
         let agg_rank = schedule.aggregator_rank(a);
         if agg_rank == comm.rank() {
             continue; // own pieces were placed locally by the aggregator loop
         }
-        let (payload, info) = comm.recv_bytes_no_clock(agg_rank, tag);
+        // Remote-node chunks arrive re-shuffled through the node leader;
+        // same-node chunks come straight from the aggregator.
+        let (src, src_tag) = match hier.as_ref() {
+            Some(view) if view.node_of(agg_rank) != view.node => (view.leader, relay_tag),
+            _ => (agg_rank, tag),
+        };
+        let (payload, info) = comm.recv_bytes_no_clock(src, src_tag);
         let mut cursor = 0usize;
         for p in pieces {
             let len = p.extent.len as usize;
@@ -207,6 +241,7 @@ fn run_aggregator(
     agg_idx: usize,
     tag: TagValue,
     hints: &Hints,
+    hier: Option<&NodeView>,
     report: &mut TwoPhaseReport,
     buf: &mut [u8],
 ) -> SimTime {
@@ -242,10 +277,16 @@ fn run_aggregator(
             .segments
             .push(Segment::new(ready, read_done, Activity::Wait));
 
-        // Phase 2: pack and post pieces per destination.
+        // Phase 2: pack and post pieces per destination. With hierarchical
+        // paths active, only same-node destinations are served directly;
+        // every remote node gets one coalesced frame (below).
         let shuffle_start = read_done.max(shuffle_lane.free_at());
         let mut shuffle_end = shuffle_start;
-        for (dst, pieces) in schedule.dests_with_pieces(agg_idx, iter) {
+        let (direct_lo, direct_hi) = match hier {
+            Some(view) => (view.node_lo, view.node_hi),
+            None => (0, comm.nprocs()),
+        };
+        for (dst, pieces) in schedule.dests_with_pieces_in(agg_idx, iter, direct_lo, direct_hi) {
             let piece_bytes: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
             if dst == comm.rank() {
                 // Local placement: just a copy, no message.
@@ -266,18 +307,62 @@ fn run_aggregator(
             }
             // The shuffle lane is held for the memcpy, the per-piece
             // pack/post cost (non-contiguous runs are packed one by one,
-            // like a derived-datatype scatter), and the NIC serialization
-            // of the payload: a node's egress is a serially-reused
-            // resource. Per-piece cost is what makes the shuffle of a
-            // finely-fragmented request approach the read cost (Fig. 1).
+            // like a derived-datatype scatter), the NIC serialization
+            // of the payload (a node's egress is a serially-reused
+            // resource), and the per-message posting overhead. Per-piece
+            // cost is what makes the shuffle of a finely-fragmented
+            // request approach the read cost (Fig. 1).
             let same_node = comm.model().topology.same_node(comm.rank(), dst);
             let pack_and_post = cpu.memcpy_time(payload.len())
                 + comm.model().net.scatter_cost().scale(pieces.len() as f64)
-                + comm.model().net.wire_time(payload.len(), same_node);
+                + comm.model().net.wire_time(payload.len(), same_node)
+                + comm.model().net.msg_cost(same_node);
             let depart = shuffle_lane.acquire(read_done, pack_and_post);
             report.bytes_shuffled += payload.len() as u64;
             comm.post_bytes_at(dst, tag, payload, depart);
             shuffle_end = shuffle_end.max(depart);
+        }
+        if let Some(view) = hier {
+            // One header-less frame per remote node holding pieces of this
+            // chunk: sections are the per-destination payloads in ascending
+            // rank order, and both ends derive section sizes from the
+            // shared schedule, so no framing metadata crosses the wire.
+            // Coalescing pays the inter-node posting overhead once per
+            // node instead of once per destination rank.
+            let frame_tag = TAG_SHUFFLE_FRAME | (tag & SEQ_MASK);
+            for node in 0..view.nodes_used {
+                if node == view.node {
+                    continue;
+                }
+                let (lo, hi) = view.node_range(node);
+                // Pre-size the frame from the schedule's piece tables so
+                // coalescing never reallocates mid-pack.
+                let frame_bytes: usize = schedule
+                    .dests_with_pieces_in(agg_idx, iter, lo, hi)
+                    .map(|(_, ps)| ps.iter().map(|p| p.extent.len as usize).sum::<usize>())
+                    .sum();
+                if frame_bytes == 0 {
+                    continue;
+                }
+                let mut frame = comm.take_buf();
+                frame.reserve(frame_bytes);
+                let mut frame_pieces = 0usize;
+                for (_, pieces) in schedule.dests_with_pieces_in(agg_idx, iter, lo, hi) {
+                    for p in pieces {
+                        let src = (p.extent.offset - rlo) as usize;
+                        frame.extend_from_slice(&chunk[src..src + p.extent.len as usize]);
+                    }
+                    frame_pieces += pieces.len();
+                }
+                let pack_and_post = cpu.memcpy_time(frame.len())
+                    + comm.model().net.scatter_cost().scale(frame_pieces as f64)
+                    + comm.model().net.wire_time(frame.len(), false)
+                    + comm.model().net.msg_cost(false);
+                let depart = shuffle_lane.acquire(read_done, pack_and_post);
+                report.bytes_shuffled += frame.len() as u64;
+                comm.post_bytes_at(view.leader_of_node(node), frame_tag, frame, depart);
+                shuffle_end = shuffle_end.max(depart);
+            }
         }
         if single_lane {
             io_lane.advance_to(shuffle_end);
@@ -291,6 +376,80 @@ fn run_aggregator(
             shuffle: shuffle_end.saturating_since(shuffle_start),
         });
         last = last.max(shuffle_end);
+    }
+    last
+}
+
+/// The node leader's relay loop: for every chunk whose aggregator lives on
+/// a *remote* node and that holds pieces for this node, receives the
+/// aggregator's coalesced frame and forwards each member's sections as one
+/// intra-node message. The leader's own sections travel through the
+/// self-send short circuit, so the receiver loop stays uniform. Frames are
+/// header-less — section boundaries are recomputed from the shared
+/// schedule. Returns the time the last relay departed.
+fn relay_read_frames(
+    comm: &mut Comm,
+    schedule: &PlanSchedule,
+    view: &NodeView,
+    tag: TagValue,
+    report: &mut TwoPhaseReport,
+) -> SimTime {
+    let cpu = comm.model().cpu.clone();
+    let frame_tag = TAG_SHUFFLE_FRAME | (tag & SEQ_MASK);
+    let relay_tag = TAG_SHUFFLE_RELAY | (tag & SEQ_MASK);
+    let start = comm.clock();
+    let mut relay_lane = Lane::free_from(start);
+    let mut last = start;
+    // Slots are walked in global (aggregator, iteration) order — the same
+    // order in which every member drains its relay stream, and in which
+    // each aggregator posts its frames, so FIFO matching pairs them up.
+    for a in 0..schedule.plan().aggregators.len() {
+        let agg_rank = schedule.aggregator_rank(a);
+        if view.node_of(agg_rank) == view.node {
+            continue; // same-node chunks are shuffled directly
+        }
+        for &iter in schedule.active_iterations(a) {
+            if schedule
+                .dests_with_pieces_in(a, iter, view.node_lo, view.node_hi)
+                .next()
+                .is_none()
+            {
+                continue; // no frame was sent for this chunk
+            }
+            let (frame, info) = comm.recv_bytes_no_clock(agg_rank, frame_tag);
+            let mut pos = 0usize;
+            for (dst, pieces) in
+                schedule.dests_with_pieces_in(a, iter, view.node_lo, view.node_hi)
+            {
+                let len: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
+                let mut payload = comm.take_buf();
+                payload.extend_from_slice(&frame[pos..pos + len]);
+                pos += len;
+                // Splitting a contiguous section is a plain copy — the
+                // per-piece scatter cost was already paid by the
+                // aggregator when it packed the frame.
+                let cost = if dst == comm.rank() {
+                    cpu.memcpy_time(len)
+                } else {
+                    cpu.memcpy_time(len)
+                        + comm.model().net.wire_time(len, true)
+                        + comm.model().net.msg_cost(true)
+                };
+                let depart = relay_lane.acquire(info.arrival, cost);
+                if dst != comm.rank() {
+                    report.bytes_shuffled += len as u64;
+                }
+                comm.post_bytes_at(dst, relay_tag, payload, depart);
+                last = last.max(depart);
+            }
+            assert_eq!(pos, frame.len(), "shuffle frame length mismatch");
+            comm.recycle_buf(frame);
+        }
+    }
+    if last > start {
+        report
+            .segments
+            .push(Segment::new(start, last, Activity::Sys));
     }
     last
 }
@@ -669,6 +828,65 @@ mod tests {
             .into_iter()
             .collect();
         assert!(TwoPhaseReport::stragglers(&reports, 2.0).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_shuffle_matches_flat_bitwise() {
+        use cc_model::CollectiveMode;
+        // 3 nodes x 4 cores, finely interleaved requests: every chunk has
+        // destinations on every node, so the hierarchical path coalesces
+        // aggressively. The returned buffers must be byte-identical to the
+        // flat path's, and the interconnect must carry far fewer messages.
+        let n = 12;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..20)
+                        .map(|k| Extent {
+                            offset: r * 10 + k * 10 * n as u64,
+                            len: 10,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let run_mode = |mode: CollectiveMode| {
+            let fs = make_fs(2, 2400, 256, 2);
+            let mut model = ClusterModel::test_tiny(n).with_collectives(mode);
+            model.topology = Topology::new(3, 4);
+            let world = World::new(n, model);
+            let fs = &fs;
+            let requests = &requests;
+            world.run(move |comm| {
+                let file = fs.open("data").expect("file exists");
+                let (data, _) = collective_read(
+                    comm,
+                    fs,
+                    &file,
+                    &requests[comm.rank()],
+                    &Hints {
+                        cb_buffer_size: 512,
+                        ..Hints::default()
+                    },
+                );
+                (data, comm.stats())
+            })
+        };
+        let flat = run_mode(CollectiveMode::Flat);
+        let hier = run_mode(CollectiveMode::Hierarchical);
+        for (r, (f, h)) in flat.iter().zip(&hier).enumerate() {
+            assert_eq!(f.0, h.0, "rank {r} data differs between modes");
+            assert_eq!(h.0, expected_bytes(&requests[r]), "rank {r} data");
+        }
+        let inter = |rs: &[(Vec<u8>, cc_mpi::CommStats)]| -> usize {
+            rs.iter().map(|(_, s)| s.msgs_inter).sum()
+        };
+        assert!(
+            inter(&hier) * 2 <= inter(&flat),
+            "hierarchical shuffle must cut inter-node messages: flat {} hier {}",
+            inter(&flat),
+            inter(&hier)
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! writes *across* ranks are application bugs MPI-IO leaves undefined.
 
 use cc_model::{Lane, SimTime};
-use cc_mpi::comm::TagValue;
-use cc_mpi::Comm;
+use cc_mpi::comm::{TagValue, SEQ_MASK};
+use cc_mpi::{Comm, NodeView};
 use cc_pfs::{FileHandle, Pfs};
 use cc_profile::{Activity, Segment};
 
@@ -24,6 +24,18 @@ use crate::schedule::{PlanCache, PlanSchedule};
 /// Tag base for write-shuffle messages; each collective stamps its
 /// sequence number into the low bits (see `Comm::next_engine_tag`).
 pub(crate) const TAG_WRITE_SHUFFLE: TagValue = 0x6000_0000;
+
+/// Tag base for member -> node-leader up-messages: when hierarchical
+/// paths are active, pieces bound for a *remote-node* aggregator are
+/// handed to the local node leader instead of crossing the interconnect
+/// individually.
+pub(crate) const TAG_WRITE_UP: TagValue = 0x3000_0000;
+
+/// Tag base for coalesced write-shuffle frames: the node leader
+/// concatenates its members' up-messages for one chunk into a single
+/// frame and sends it to the owning aggregator — one inter-node message
+/// per (chunk, source node) pair.
+pub(crate) const TAG_WRITE_FRAME: TagValue = 0x7000_0000;
 
 /// What one rank observed during a collective write.
 #[derive(Debug, Clone, Default)]
@@ -102,6 +114,12 @@ pub fn collective_write_cached(
     };
 
     // --- Sender role: scatter my pieces to the owning aggregators. -----
+    // With hierarchical paths active, pieces bound for a remote-node
+    // aggregator go to the local node leader (one cheap intra-node hop)
+    // instead of crossing the interconnect one message per rank; the
+    // leader coalesces them below.
+    let hier = comm.hier_view();
+    let up_tag = TAG_WRITE_UP | (tag & SEQ_MASK);
     let cpu = comm.model().cpu.clone();
     let mut send_lane = Lane::free_from(comm.clock());
     for (a, _, pieces) in schedule.sources_with_pieces(comm.rank()) {
@@ -117,10 +135,26 @@ pub fn collective_write_cached(
             let lo = p.buf_offset as usize;
             payload.extend_from_slice(&data[lo..lo + p.extent.len as usize]);
         }
+        if let Some(view) = hier.as_ref().filter(|v| v.node_of(agg_rank) != v.node) {
+            // The leader's own contribution rides the self-send short
+            // circuit: no wire or posting cost, just the pack.
+            let mut cost = cpu.memcpy_time(payload.len())
+                + comm.model().net.scatter_cost().scale(pieces.len() as f64);
+            if comm.rank() != view.leader {
+                cost = cost
+                    + comm.model().net.wire_time(payload.len(), true)
+                    + comm.model().net.msg_cost(true);
+            }
+            let depart = send_lane.acquire(comm.clock(), cost);
+            report.bytes_shuffled += payload.len() as u64;
+            comm.post_bytes_at(view.leader, up_tag, payload, depart);
+            continue;
+        }
         let same_node = comm.model().topology.same_node(comm.rank(), agg_rank);
         let cost = cpu.memcpy_time(payload.len())
             + comm.model().net.scatter_cost().scale(pieces.len() as f64)
-            + comm.model().net.wire_time(payload.len(), same_node);
+            + comm.model().net.wire_time(payload.len(), same_node)
+            + comm.model().net.msg_cost(same_node);
         let depart = send_lane.acquire(comm.clock(), cost);
         report.bytes_shuffled += payload.len() as u64;
         comm.post_bytes_at(agg_rank, tag, payload, depart);
@@ -132,8 +166,13 @@ pub fn collective_write_cached(
             .push(Segment::new(report.start, sends_done, Activity::Sys));
     }
 
-    // --- Aggregator role: assemble chunks and write. --------------------
+    // --- Leader role: coalesce members' up-messages into frames. --------
     let mut done = sends_done;
+    if let Some(view) = hier.as_ref().filter(|v| v.is_leader(comm.rank())) {
+        done = done.max(coalesce_write_frames(comm, &schedule, view, tag, &mut report));
+    }
+
+    // --- Aggregator role: assemble chunks and write. --------------------
     if let Some(agg_idx) = schedule.aggregator_index(comm.rank()) {
         done = done.max(run_write_aggregator(
             comm,
@@ -143,6 +182,7 @@ pub fn collective_write_cached(
             agg_idx,
             tag,
             hints,
+            hier.as_ref(),
             data,
             my_request,
             &mut report,
@@ -151,6 +191,76 @@ pub fn collective_write_cached(
     comm.advance_to(done);
     report.end = comm.clock();
     report
+}
+
+/// The node leader's coalescing loop, the mirror of the read engine's
+/// relay: for every chunk owned by a *remote-node* aggregator that this
+/// node contributes to, receives each member's up-message (its own rides
+/// the self-send short circuit), concatenates them in ascending member
+/// order into one header-less frame, and sends it to the aggregator —
+/// paying the inter-node posting overhead once per (chunk, node) pair.
+/// Returns the time the last frame departed.
+fn coalesce_write_frames(
+    comm: &mut Comm,
+    schedule: &PlanSchedule,
+    view: &NodeView,
+    tag: TagValue,
+    report: &mut WriteReport,
+) -> SimTime {
+    let cpu = comm.model().cpu.clone();
+    let up_tag = TAG_WRITE_UP | (tag & SEQ_MASK);
+    let frame_tag = TAG_WRITE_FRAME | (tag & SEQ_MASK);
+    let start = comm.clock();
+    let mut frame_lane = Lane::free_from(start);
+    let mut last = start;
+    // Slots are walked in global (aggregator, iteration) order — the same
+    // order in which every member posts its up-messages and in which each
+    // aggregator drains its frame stream, so FIFO matching pairs them up.
+    for a in 0..schedule.plan().aggregators.len() {
+        let agg_rank = schedule.aggregator_rank(a);
+        if view.node_of(agg_rank) == view.node {
+            continue; // same-node chunks are shuffled directly
+        }
+        for &iter in schedule.active_iterations(a) {
+            // Pre-size the frame from the schedule's piece tables so
+            // coalescing never reallocates mid-concatenation.
+            let frame_bytes: usize = schedule
+                .dests_with_pieces_in(a, iter, view.node_lo, view.node_hi)
+                .map(|(_, ps)| ps.iter().map(|p| p.extent.len as usize).sum::<usize>())
+                .sum();
+            if frame_bytes == 0 {
+                continue; // this node contributes nothing to the chunk
+            }
+            let mut frame = comm.take_buf();
+            frame.reserve(frame_bytes);
+            let mut arrival = start;
+            for (src, pieces) in
+                schedule.dests_with_pieces_in(a, iter, view.node_lo, view.node_hi)
+            {
+                let len: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
+                let (payload, info) = comm.recv_bytes_no_clock(src, up_tag);
+                assert_eq!(payload.len(), len, "write up-message length mismatch");
+                arrival = arrival.max(info.arrival);
+                frame.extend_from_slice(&payload);
+                comm.recycle_buf(payload);
+            }
+            // Concatenating contiguous payloads is a plain copy — the
+            // per-piece scatter cost was already paid by the members.
+            let cost = cpu.memcpy_time(frame.len())
+                + comm.model().net.wire_time(frame.len(), false)
+                + comm.model().net.msg_cost(false);
+            let depart = frame_lane.acquire(arrival, cost);
+            report.bytes_shuffled += frame.len() as u64;
+            comm.post_bytes_at(agg_rank, frame_tag, frame, depart);
+            last = last.max(depart);
+        }
+    }
+    if last > start {
+        report
+            .segments
+            .push(Segment::new(start, last, Activity::Sys));
+    }
+    last
 }
 
 /// Assembles and writes every chunk of one aggregator's file domain;
@@ -164,6 +274,7 @@ fn run_write_aggregator(
     agg_idx: usize,
     tag: TagValue,
     hints: &Hints,
+    hier: Option<&NodeView>,
     my_data: &[u8],
     my_request: &OffsetList,
     report: &mut WriteReport,
@@ -176,13 +287,41 @@ fn run_write_aggregator(
     // One assembly buffer reused (re-zeroed) across iterations.
     let mut chunk = Vec::new();
 
+    let frame_tag = TAG_WRITE_FRAME | (tag & SEQ_MASK);
     for &iter in schedule.active_iterations(agg_idx) {
         let (clo, chi) = schedule.chunk(agg_idx, iter);
         chunk.clear();
         chunk.resize((chi - clo) as usize, 0);
         let mut extents: Vec<Extent> = Vec::new();
         let mut arrival = recv_done;
+        // Pending coalesced frame from one remote node's leader: sources
+        // ascend, so each node's contributors form one contiguous run and
+        // the frame is drained exactly once, then flushed on the node
+        // boundary.
+        let mut frame: Option<(usize, usize, Vec<u8>)> = None; // (node, cursor, bytes)
         for (src, pieces) in schedule.dests_with_pieces(agg_idx, iter) {
+            if let Some(view) = hier.filter(|v| v.node_of(src) != v.node) {
+                let src_node = view.node_of(src);
+                if frame.as_ref().map(|f| f.0) != Some(src_node) {
+                    if let Some((_, cursor, bytes)) = frame.take() {
+                        assert_eq!(cursor, bytes.len(), "write frame length mismatch");
+                        comm.recycle_buf(bytes);
+                    }
+                    let (bytes, info) =
+                        comm.recv_bytes_no_clock(view.leader_of_node(src_node), frame_tag);
+                    arrival = arrival.max(info.arrival);
+                    frame = Some((src_node, 0, bytes));
+                }
+                let (_, cursor, bytes) = frame.as_mut().expect("frame just installed");
+                for p in pieces {
+                    let off = (p.extent.offset - clo) as usize;
+                    let len = p.extent.len as usize;
+                    chunk[off..off + len].copy_from_slice(&bytes[*cursor..*cursor + len]);
+                    *cursor += len;
+                    extents.push(p.extent);
+                }
+                continue;
+            }
             let payload: Vec<u8>;
             if src == comm.rank() {
                 let mut own = comm.take_buf();
@@ -212,6 +351,10 @@ fn run_write_aggregator(
             }
             assert_eq!(cursor, payload.len(), "write payload length mismatch");
             comm.recycle_buf(payload);
+        }
+        if let Some((_, cursor, bytes)) = frame.take() {
+            assert_eq!(cursor, bytes.len(), "write frame length mismatch");
+            comm.recycle_buf(bytes);
         }
         recv_done = arrival;
         // Merge the received extents and write each contiguous run.
@@ -380,6 +523,80 @@ mod tests {
         let fs = empty_fs(256);
         run_write(n, &requests, Arc::clone(&fs), Hints::default());
         check_file(&fs, &requests, 256);
+    }
+
+    #[test]
+    fn hierarchical_write_matches_flat_bitwise() {
+        use cc_model::CollectiveMode;
+        // 2 nodes x 3 cores, interleaved pieces: every chunk receives
+        // contributions from both nodes, so up-messages and coalesced
+        // frames carry the whole shuffle. File contents must be
+        // byte-identical to the flat path's.
+        let n = 6;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..15)
+                        .map(|k| Extent {
+                            offset: r * 10 + k * 10 * n as u64,
+                            len: 10,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let run_mode = |mode: CollectiveMode| {
+            let fs = empty_fs(900);
+            let mut model = ClusterModel::test_tiny(n).with_collectives(mode);
+            model.topology = Topology::new(2, 3);
+            let world = World::new(n, model);
+            let stats = {
+                let fs = &fs;
+                let requests = &requests;
+                world.run(move |comm| {
+                    let file = fs.open("out").expect("exists");
+                    let req = &requests[comm.rank()];
+                    let mut data = Vec::new();
+                    for e in req.extents() {
+                        data.extend((e.offset..e.end()).map(|i| (i % 251) as u8));
+                    }
+                    collective_write(
+                        comm,
+                        fs,
+                        &file,
+                        req,
+                        &data,
+                        &Hints {
+                            cb_buffer_size: 256,
+                            ..Hints::default()
+                        },
+                    );
+                    comm.stats()
+                })
+            };
+            let file = fs.open("out").expect("exists");
+            let (bytes, _) = fs.read_at(&file, 0, 900, SimTime::ZERO);
+            (bytes, stats)
+        };
+        let (flat_file, flat_stats) = run_mode(CollectiveMode::Flat);
+        let (hier_file, hier_stats) = run_mode(CollectiveMode::Hierarchical);
+        assert_eq!(flat_file, hier_file, "file contents differ between modes");
+        let mut expect = vec![0u8; 900];
+        for req in &requests {
+            for e in req.extents() {
+                for i in e.offset..e.end() {
+                    expect[i as usize] = (i % 251) as u8;
+                }
+            }
+        }
+        assert_eq!(hier_file, expect, "written contents are wrong");
+        let inter = |ss: &[cc_mpi::CommStats]| -> usize { ss.iter().map(|s| s.msgs_inter).sum() };
+        assert!(
+            inter(&hier_stats) * 2 <= inter(&flat_stats),
+            "hierarchical write shuffle must cut inter-node messages: flat {} hier {}",
+            inter(&flat_stats),
+            inter(&hier_stats)
+        );
     }
 
     #[test]

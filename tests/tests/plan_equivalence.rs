@@ -19,7 +19,7 @@ use cc_core::{
     ObjectIo, SumKernel,
 };
 use cc_integration::{build_var_fs, oracle_min_loc, oracle_sum, test_model, test_value};
-use cc_model::{DiskModel, SimTime};
+use cc_model::{CollectiveMode, DiskModel, SimTime};
 use cc_mpi::World;
 use cc_mpiio::{
     collective_read, collective_read_cached, collective_write, collective_write_cached, Extent,
@@ -238,6 +238,68 @@ proptest! {
             }
         }
         prop_assert_eq!(&fresh_bytes, &expect, "written file diverged from oracle");
+    }
+
+    /// Hierarchical comm variant: the same random sweep, read *and*
+    /// written under [`CollectiveMode::Flat`] and
+    /// [`CollectiveMode::Hierarchical`], must move bit-identical bytes.
+    /// The topology is forced multi-node so leader relay/coalesce paths
+    /// actually engage (single-node worlds fall back to flat).
+    #[test]
+    fn prop_hierarchical_shuffle_equals_flat(sweep in arb_sweep()) {
+        let nprocs = sweep.nprocs();
+        let nodes = sweep.nodes + 1; // >= 2 nodes
+        let size = sweep.file_size() + nprocs as u64 * ReqSweep::REGION;
+        let value_at = |o: u64| (o.wrapping_mul(193) ^ (o >> 3)) as u8;
+        let mut reads: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut files: Vec<Vec<u8>> = Vec::new();
+        for mode in [CollectiveMode::Flat, CollectiveMode::Hierarchical] {
+            let fs = Pfs::new(4, DiskModel::lustre_like());
+            fs.create(
+                "t.nc",
+                StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                Box::new(MemBackend::from_bytes(
+                    (0..size).map(value_at).collect(),
+                )),
+            );
+            fs.create(
+                "out.nc",
+                StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                Box::new(MemBackend::zeroed(size as usize)),
+            );
+            let fs = Arc::new(fs);
+            let model = test_model(nodes, nprocs.div_ceil(nodes)).with_collectives(mode);
+            let world = World::new(nprocs, model);
+            let per_rank = {
+                let fs = &fs;
+                let sweep_ref = &sweep;
+                world.run(move |comm| {
+                    let file = fs.open("t.nc").expect("exists");
+                    let out = fs.open("out.nc").expect("exists");
+                    let hints = sweep_ref.hints();
+                    let mut got = Vec::new();
+                    for step in 0..sweep_ref.steps {
+                        let req = sweep_ref.request(comm.rank(), step);
+                        let (bytes, _) = collective_read(comm, fs, &file, &req, &hints);
+                        let wreq = sweep_ref.request_disjoint(comm.rank(), step);
+                        let data: Vec<u8> = wreq
+                            .extents()
+                            .iter()
+                            .flat_map(|e| (e.offset..e.end()).map(value_at))
+                            .collect();
+                        collective_write(comm, fs, &out, &wreq, &data, &hints);
+                        got.push(bytes);
+                    }
+                    got
+                })
+            };
+            reads.push(per_rank.into_iter().flatten().collect());
+            let out = fs.open("out.nc").expect("exists");
+            let (file_bytes, _) = fs.read_at(&out, 0, size, SimTime::ZERO);
+            files.push(file_bytes);
+        }
+        prop_assert_eq!(&reads[0], &reads[1], "hierarchical read bytes diverged from flat");
+        prop_assert_eq!(&files[0], &files[1], "hierarchical written file diverged from flat");
     }
 }
 
