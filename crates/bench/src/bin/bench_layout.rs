@@ -1,0 +1,75 @@
+//! Measures the virtual read-phase makespan of the three file-domain
+//! partition strategies — Even, StripeAligned, GroupCyclic — on the Lustre
+//! convoy scenario and writes `BENCH_layout.json`.
+//!
+//! Every strategy replays the identical collective (same ranks, same
+//! requests, same striped file) through the compiled schedule and the
+//! vectorized OST booking path; the binary asserts the per-rank
+//! reassembled checksums are bit-identical before reporting anything, so
+//! the speedup comes from *where* the reads land, never from reading less.
+//! `--quick` shrinks the scenario for CI smoke runs.
+
+use cc_bench::layout::{run_all, LayoutBenchConfig};
+use cc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = LayoutBenchConfig::for_scale(scale);
+    let out = run_all(&cfg);
+    let (even, aligned, cyclic) = (&out[0], &out[1], &out[2]);
+
+    // Correctness gate: the layout redistributes who reads what, never
+    // what is read.
+    assert_eq!(
+        even.checksum, aligned.checksum,
+        "StripeAligned bytes diverged from Even"
+    );
+    assert_eq!(
+        even.checksum, cyclic.checksum,
+        "GroupCyclic bytes diverged from Even"
+    );
+    let cap = cfg.osts.div_ceil(cfg.aggregators()) + 1;
+    assert!(
+        cyclic.max_osts_per_aggregator <= cap,
+        "group-cyclic aggregator touched {} OSTs (cap {cap})",
+        cyclic.max_osts_per_aggregator
+    );
+
+    let speedup_cyclic = even.read_secs / cyclic.read_secs;
+    let speedup_aligned = even.read_secs / aligned.read_secs;
+    let strat = |o: &cc_bench::layout::StrategyOutcome, speedup: f64| {
+        format!(
+            "{{ \"read_secs\": {:.6e}, \"speedup_vs_even\": {:.2}, \"ost_imbalance\": {:.3}, \"extents_served\": {}, \"max_osts_per_aggregator\": {} }}",
+            o.read_secs, speedup, o.imbalance, o.extents_served, o.max_osts_per_aggregator
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"layout_domains\",\n  \"scale\": \"{}\",\n  \"speedup\": {:.2},\n  \"nprocs\": {},\n  \"aggregators\": {},\n  \"osts\": {},\n  \"stripe_unit\": {},\n  \"slab_stripes\": {},\n  \"cb_stripes\": {},\n  \"checksum\": \"{:016x}\",\n  \"even\": {},\n  \"stripe_aligned\": {},\n  \"group_cyclic\": {}\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        speedup_cyclic,
+        cfg.nprocs,
+        cfg.aggregators(),
+        cfg.osts,
+        cfg.stripe_unit,
+        cfg.slab_stripes,
+        cfg.cb_stripes,
+        even.checksum,
+        strat(even, 1.0),
+        strat(aligned, speedup_aligned),
+        strat(cyclic, speedup_cyclic),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_layout.json", &json).expect("write BENCH_layout.json");
+    eprintln!(
+        "group-cyclic read phase {speedup_cyclic:.2}x vs even (imbalance {:.2} -> {:.2}) \
+         ({} ranks, {} aggregators, {} OSTs)",
+        even.imbalance,
+        cyclic.imbalance,
+        cfg.nprocs,
+        cfg.aggregators(),
+        cfg.osts
+    );
+}

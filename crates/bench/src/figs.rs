@@ -57,6 +57,7 @@ pub fn fig01_workload(scale: Scale) -> (ClimateWorkload, ClusterModel, Hints) {
         aggregators_per_node: 6,
         nonblocking: true,
         align_domains_to: Some(workload.stripe_size),
+        ..Hints::default()
     };
     (workload, model, hints)
 }
@@ -194,6 +195,7 @@ fn fig09_workload(scale: Scale) -> (ClimateWorkload, ClusterModel, Hints) {
         aggregators_per_node: 1,
         nonblocking: true,
         align_domains_to: Some(workload.stripe_size),
+        ..Hints::default()
     };
     (workload, model, hints)
 }
@@ -281,6 +283,7 @@ pub fn fig10(scale: Scale) -> Table {
         aggregators_per_node: 1,
         nonblocking: true,
         align_domains_to: Some(256 << 10),
+        ..Hints::default()
     };
     let mut t = Table::new(
         "Fig. 10: scalability of collective computing (ratio 1:5, weak scaling)",
@@ -332,6 +335,7 @@ pub fn fig11(scale: Scale) -> Table {
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            ..Hints::default()
         };
         let c40 = run_comparison(&mk_workload(p, 40), &model, 156, &SumKernel, &hints);
         let c80 = run_comparison(&mk_workload(p, 80), &model, 156, &SumKernel, &hints);
@@ -369,6 +373,7 @@ pub fn fig12(scale: Scale) -> Table {
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            ..Hints::default()
         };
         let fs = workload.build_fs(156, model.disk.clone());
         let world = World::new(workload.nprocs(), model.clone());
@@ -427,6 +432,7 @@ pub fn fig13(scale: Scale) -> Table {
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            ..Hints::default()
         };
         let run = |blocking: bool| {
             let fs = wrf.build_fs(156, model.disk.clone());

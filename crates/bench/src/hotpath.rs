@@ -78,6 +78,7 @@ impl HotPathConfig {
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            ..Hints::default()
         };
         (topo, hints)
     }

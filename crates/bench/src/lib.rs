@@ -14,6 +14,7 @@ pub mod ablations;
 pub mod comm;
 pub mod figs;
 pub mod hotpath;
+pub mod layout;
 pub mod plan;
 pub mod runner;
 

@@ -79,6 +79,7 @@ impl PlanBenchConfig {
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            ..Hints::default()
         }
     }
 

@@ -19,7 +19,7 @@ use cc_model::{Lane, SimTime};
 use cc_mpi::comm::TagValue;
 use cc_mpi::Comm;
 use cc_mpiio::exchange::exchange_requests;
-use cc_mpiio::{independent_read, CollectivePlan, Hints, PlanCache, PlanSchedule};
+use cc_mpiio::{independent_read, CollectivePlan, Hints, PlanCache, PlanSchedule, Striping};
 use cc_pfs::{FileHandle, Pfs};
 use cc_profile::{Activity, Segment};
 
@@ -238,6 +238,11 @@ fn run_collective_computing(
         Some(a) => lcm(a.max(1), esize),
         None => esize,
     });
+    // Striping rides the hints (ROMIO's striping_unit/striping_factor), so
+    // stripe-aware partition strategies and the plan-cache key see the
+    // open file's layout. If the stripe size is not element-aligned the
+    // planner falls back to stripe-aligned-even partitioning on its own.
+    hints.striping = Some(Striping::from(file.layout()));
 
     let request = var.byte_extents(slab);
     let requests = exchange_requests(comm, &request);
@@ -356,37 +361,44 @@ fn run_map_pipeline(
     let single_lane = !hints.nonblocking;
     let mut last = start;
 
+    let mut blocks: Vec<(u64, u64)> = Vec::new();
     for &iter in schedule.active_iterations(agg_idx) {
-        let Some((rlo, rhi)) = schedule.read_range(agg_idx, iter) else {
+        let ranges = schedule.read_ranges(agg_idx, iter);
+        let Some(&(rlo, _)) = ranges.first() else {
             continue;
         };
         let ready = io_lane.free_at();
-        let read_done = pfs.read_at_into(file, rlo, rhi - rlo, ready, &mut scratch.bytes);
+        let read_done = pfs.read_multi(file, rlo, ranges, ready, &mut scratch.bytes);
         io_lane.advance_to(read_done);
-        report.bytes_read += rhi - rlo;
+        report.bytes_read += ranges.iter().map(|&(_, len)| len).sum::<u64>();
         report
             .segments
             .push(Segment::new(ready, read_done, Activity::Wait));
 
-        // Construct logical runs and map them, per destination owner.
-        let (clo, chi) = schedule.chunk(agg_idx, iter);
+        // Construct logical runs and map them, per destination owner and
+        // per covered block — a merged iteration's bounding range spans
+        // stride gaps whose bytes belong to other aggregators.
+        blocks.clear();
+        schedule.chunk_blocks(agg_idx, iter, |blo, bhi| blocks.push((blo, bhi)));
         let mut mapped_bytes = 0usize;
         let mut entries = 0u64;
         let mut meta_bytes = 0u64;
         for &dst in schedule.destinations(agg_idx, iter) {
-            let runs = construct_runs(var, &schedule.plan().requests[dst], clo, chi);
             let acc = inter.partial_mut(dst, kernel);
-            for run in &runs {
-                let off = (var.byte_of_elem(run.start_elem) - rlo) as usize;
-                let len = run.len as usize * esize;
-                // Decode into the reused scratch slice: the kernel folds
-                // over `&[f64]` with no per-run allocation.
-                var.dtype()
-                    .decode_into(&scratch.bytes[off..off + len], &mut scratch.values);
-                kernel.map(acc, run.start_elem, &scratch.values);
-                mapped_bytes += len;
-                entries += 1;
-                meta_bytes += run.metadata_bytes(var);
+            for &(blo, bhi) in &blocks {
+                let runs = construct_runs(var, &schedule.plan().requests[dst], blo, bhi);
+                for run in &runs {
+                    let off = (var.byte_of_elem(run.start_elem) - rlo) as usize;
+                    let len = run.len as usize * esize;
+                    // Decode into the reused scratch slice: the kernel folds
+                    // over `&[f64]` with no per-run allocation.
+                    var.dtype()
+                        .decode_into(&scratch.bytes[off..off + len], &mut scratch.values);
+                    kernel.map(acc, run.start_elem, &scratch.values);
+                    mapped_bytes += len;
+                    entries += 1;
+                    meta_bytes += run.metadata_bytes(var);
+                }
             }
         }
         inter.note_metadata(entries, meta_bytes);

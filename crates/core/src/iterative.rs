@@ -10,7 +10,7 @@
 use cc_array::Variable;
 use cc_mpi::Comm;
 use cc_mpiio::{PlanCache, PlanCacheStats};
-use cc_pfs::{FileHandle, Pfs};
+use cc_pfs::{FileHandle, OstBalance, Pfs};
 
 use crate::engine::{object_get_vara_cached, CcOutcome};
 use crate::kernel::{MapKernel, Partial};
@@ -28,6 +28,10 @@ pub struct IterativeOutcome {
     /// How the sweep's plan cache was exercised: the canonical timestep
     /// sweep compiles step 0 and hits or translates every later step.
     pub plan_cache: PlanCacheStats,
+    /// Cumulative per-OST load balance of the file system after the sweep
+    /// (busiest/mean busy-seconds): how evenly the chosen domain-partition
+    /// strategy spread the sweep's reads over the OSTs.
+    pub ost_balance: OstBalance,
 }
 
 /// Runs `kernel` over a sequence of `(variable, selection)` steps and
@@ -69,6 +73,7 @@ pub fn iterative_get_vara(
         per_step: at_root.then_some(per_step),
         steps: outcomes,
         plan_cache: plans.stats(),
+        ost_balance: pfs.ost_balance(),
     }
 }
 
@@ -131,6 +136,11 @@ mod tests {
         assert_eq!(steps.len(), 4);
         let step_total: f64 = steps.iter().map(|s| s[0]).sum();
         assert!((step_total - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        // The sweep surfaces the file system's cumulative OST balance.
+        let bal = &results[0].ost_balance;
+        assert_eq!(bal.osts, 4);
+        assert!(bal.imbalance >= 1.0 - 1e-12, "imbalance {}", bal.imbalance);
+        assert!(bal.busiest_secs > 0.0);
     }
 
     #[test]

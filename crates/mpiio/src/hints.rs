@@ -1,5 +1,57 @@
 //! MPI-IO hints, mirroring the ROMIO `cb_*` info keys the paper tunes.
 
+/// How the covered file range is partitioned into aggregator file domains.
+///
+/// Mirrors ROMIO's Lustre driver: plain even splitting, stripe-aligned
+/// even splitting, and Liao/Choudhary group-cyclic partitioning where each
+/// aggregator owns whole stripe-sets from a disjoint subset of OSTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DomainPartition {
+    /// Even contiguous split of the covered range (generic ROMIO).
+    #[default]
+    Even,
+    /// Even contiguous split with domain boundaries aligned to
+    /// `lcm(align_domains_to, stripe_size)`, so no domain splits a stripe.
+    /// Falls back to [`Even`](Self::Even) when striping is unknown.
+    StripeAligned,
+    /// Group-cyclic (Liao/Choudhary-style, Lustre-aware ROMIO): the file is
+    /// viewed as periods of `stripe_count × stripe_size` bytes anchored at
+    /// offset 0, and each aggregator owns the stripes of a disjoint subset
+    /// of OSTs in every period — so each OST is served by (ideally) one
+    /// aggregator. Requires known striping with the stripe size a multiple
+    /// of the planner's alignment; otherwise falls back to
+    /// [`StripeAligned`](Self::StripeAligned).
+    GroupCyclic,
+}
+
+/// File striping as carried by MPI-IO hints (ROMIO's `striping_unit` /
+/// `striping_factor` info keys). Engines inject this from the open file's
+/// layout before planning, so stripe-aware partition strategies — and the
+/// plan-cache key — see the striping without new plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Striping {
+    /// Stripe size in bytes (`striping_unit`).
+    pub unit: u64,
+    /// Number of OSTs the file round-robins over (`striping_factor`).
+    pub factor: usize,
+}
+
+impl Striping {
+    /// One full round-robin period: `factor × unit` bytes.
+    pub fn period(&self) -> u64 {
+        self.unit * self.factor as u64
+    }
+}
+
+impl From<&cc_pfs::StripeLayout> for Striping {
+    fn from(layout: &cc_pfs::StripeLayout) -> Self {
+        Self {
+            unit: layout.stripe_size,
+            factor: layout.stripe_count(),
+        }
+    }
+}
+
 /// Tuning knobs of the two-phase engine.
 ///
 /// `Eq`/`Hash` let hints participate in plan-cache keys
@@ -19,6 +71,12 @@ pub struct Hints {
     /// Align file-domain boundaries to stripe boundaries (ROMIO's
     /// `striping_unit`-aware partitioning).
     pub align_domains_to: Option<u64>,
+    /// File-domain partition strategy (see [`DomainPartition`]).
+    pub domain_partition: DomainPartition,
+    /// File striping, when known (`striping_unit`/`striping_factor`).
+    /// Engines inject this from the open file's layout; stripe-aware
+    /// strategies degrade gracefully when it is `None`.
+    pub striping: Option<Striping>,
 }
 
 impl Default for Hints {
@@ -28,6 +86,8 @@ impl Default for Hints {
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            domain_partition: DomainPartition::Even,
+            striping: None,
         }
     }
 }
@@ -46,7 +106,40 @@ impl Hints {
         if let Some(a) = self.align_domains_to {
             assert!(a > 0, "alignment must be positive");
         }
+        if let Some(s) = self.striping {
+            assert!(s.unit > 0, "striping unit must be positive");
+            assert!(s.factor > 0, "striping factor must be positive");
+        }
     }
+
+    /// The period under which the partition is translation-equivariant:
+    /// shifting every request by a multiple of this value shifts the
+    /// compiled schedule rigidly, which is what lets the plan cache reuse
+    /// a schedule for a translated request set. Even domains repeat at the
+    /// alignment; stripe-aligned at `lcm(align, stripe)`; group-cyclic at
+    /// `lcm(align, stripe_count × stripe)` (the full round-robin period).
+    pub fn translation_period(&self) -> u64 {
+        let align = self.align_domains_to.unwrap_or(1);
+        match (self.domain_partition, self.striping) {
+            (DomainPartition::Even, _) | (_, None) => align,
+            (DomainPartition::StripeAligned, Some(s)) => lcm(align, s.unit),
+            (DomainPartition::GroupCyclic, Some(s)) => lcm(align, s.period()),
+        }
+    }
+}
+
+/// Greatest common divisor.
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (panics on zero operands via division).
+pub(crate) fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
 }
 
 #[cfg(test)]
@@ -69,5 +162,35 @@ mod tests {
             ..Hints::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn translation_period_per_strategy() {
+        let striped = Some(Striping { unit: 64, factor: 4 });
+        let h = |p, s, a| Hints {
+            domain_partition: p,
+            striping: s,
+            align_domains_to: a,
+            ..Hints::default()
+        };
+        assert_eq!(h(DomainPartition::Even, striped, Some(48)).translation_period(), 48);
+        assert_eq!(h(DomainPartition::StripeAligned, None, Some(48)).translation_period(), 48);
+        // lcm(48, 64) = 192; lcm(48, 256) = 768.
+        assert_eq!(
+            h(DomainPartition::StripeAligned, striped, Some(48)).translation_period(),
+            192
+        );
+        assert_eq!(
+            h(DomainPartition::GroupCyclic, striped, Some(48)).translation_period(),
+            768
+        );
+        assert_eq!(h(DomainPartition::GroupCyclic, striped, None).translation_period(), 256);
+    }
+
+    #[test]
+    fn striping_from_layout() {
+        let layout = cc_pfs::StripeLayout::round_robin(128, 3, 0, 8);
+        let s = Striping::from(&layout);
+        assert_eq!((s.unit, s.factor, s.period()), (128, 3, 384));
     }
 }

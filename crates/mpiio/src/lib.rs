@@ -33,11 +33,11 @@ pub mod write;
 
 pub use auto::{collective_read_auto, ranges_interleave, AutoReport};
 pub use extent::{Extent, OffsetList, Piece};
-pub use hints::Hints;
+pub use hints::{DomainPartition, Hints, Striping};
 pub use independent::{
     independent_read, independent_write, sieving_read, sieving_write, IndependentReport,
 };
-pub use plan::CollectivePlan;
+pub use plan::{CollectivePlan, FileDomain};
 pub use schedule::{CacheOutcome, PlanCache, PlanCacheStats, PlanSchedule};
 pub use twophase::{collective_read, collective_read_cached, IterationTiming, TwoPhaseReport};
 pub use write::{collective_write, collective_write_cached, WriteReport};

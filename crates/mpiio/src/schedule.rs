@@ -59,6 +59,11 @@ struct ScheduleIndex {
     /// `d = src_dest[src_base[r] + k]` — receivers look their pieces up
     /// without re-searching the destination lists.
     src_dest: Vec<usize>,
+    /// CSR bounds of each slot's covering read ranges (one range per
+    /// covered block holding requested bytes). Range *counts* are shape
+    /// properties, so this lives with the shareable index; the offsets
+    /// themselves are in [`ScheduleGeom::ranges`].
+    range_base: Vec<usize>,
 }
 
 /// The offset-bearing tables of one compiled schedule — the only columns a
@@ -70,6 +75,10 @@ struct ScheduleGeom {
     read_lo: Vec<u64>,
     read_hi: Vec<u64>,
     pieces: Vec<Piece>,
+    /// Per-block covering `(offset, len)` read extents, CSR-indexed by
+    /// [`ScheduleIndex::range_base`] — the range list one vectorized
+    /// file-system call services per iteration.
+    ranges: Vec<(u64, u64)>,
 }
 
 /// A [`CollectivePlan`] compiled into flat lookup tables.
@@ -96,10 +105,19 @@ impl PlanSchedule {
     /// a slot's pieces by destination inside a per-domain scratch small
     /// enough to stay cache-resident, and makes every global table a
     /// sequential append — slots are emitted in `(agg, iter)` order.
+    ///
+    /// Strided (group-cyclic) domains interleave across aggregators, so
+    /// the persistent-cursor sweep does not apply; those plans use a
+    /// per-domain `locate` walk instead, feeding the identical per-domain
+    /// record stream (rank-major, iteration-ascending within rank) into
+    /// the same counting-sort scatter.
     pub fn compile(plan: CollectivePlan) -> Self {
         let naggs = plan.aggregators.len();
         let nprocs = plan.requests.len();
         let cb = plan.cb;
+        // The persistent cursor requires ascending contiguous domains —
+        // true for even/stripe-aligned partitions, not for group-cyclic.
+        let contiguous_sweep = plan.domains.iter().all(|d| d.is_contiguous());
 
         // Slot layout: one slot per (aggregator, iteration).
         let mut iter_base = Vec::with_capacity(naggs + 1);
@@ -111,6 +129,12 @@ impl PlanSchedule {
 
         let mut read_lo = vec![u64::MAX; slots];
         let mut read_hi = vec![0u64; slots];
+        let mut range_base = Vec::with_capacity(slots + 1);
+        range_base.push(0usize);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        // Per-slot scratch for the block-covering post-pass:
+        // (block, cover_lo, cover_hi).
+        let mut blk_cov: Vec<(u64, u64, u64)> = Vec::new();
         let mut active_base = Vec::with_capacity(naggs + 1);
         let mut active_iters = Vec::new();
         active_base.push(0usize);
@@ -153,7 +177,8 @@ impl PlanSchedule {
         pieces.reserve(plan.requests.iter().map(|r| r.extents().len()).sum());
 
         for a in 0..naggs {
-            let (dlo, dhi) = plan.domains[a];
+            let dom = plan.domains[a];
+            let (dlo, dhi) = dom.bounds();
             let n_it = iter_base[a + 1] - iter_base[a];
             if dlo >= dhi || n_it == 0 {
                 active_base.push(active_iters.len());
@@ -169,75 +194,140 @@ impl PlanSchedule {
             piece_count.resize(n_it, 0);
             dest_count.clear();
             dest_count.resize(n_it, 0);
-            for r in 0..nprocs {
-                let exts = plan.requests[r].extents();
-                let mut i = cursor[r];
-                let mut buf = bufpos[r];
-                while i < exts.len() && exts[i].end() <= dlo {
-                    buf += exts[i].len;
-                    i += 1;
-                }
-                let mut prev_it = usize::MAX;
-                // Rolling chunk cursor: extents ascend, so the first
-                // overlapped iteration only moves forward. The division is
-                // needed only when an extent spans several chunks.
-                let mut cur_it = 0usize;
-                let mut cur_end = dlo + cb;
-                while i < exts.len() {
-                    let e = exts[i];
-                    if e.offset >= dhi {
-                        break;
+            if contiguous_sweep {
+                for r in 0..nprocs {
+                    let exts = plan.requests[r].extents();
+                    let mut i = cursor[r];
+                    let mut buf = bufpos[r];
+                    while i < exts.len() && exts[i].end() <= dlo {
+                        buf += exts[i].len;
+                        i += 1;
                     }
-                    let clip_lo = e.offset.max(dlo);
-                    let clip_hi = e.end().min(dhi);
-                    if clip_lo < clip_hi {
-                        while clip_lo >= cur_end {
-                            cur_it += 1;
-                            cur_end += cb;
+                    let mut prev_it = usize::MAX;
+                    // Rolling chunk cursor: extents ascend, so the first
+                    // overlapped iteration only moves forward. The division is
+                    // needed only when an extent spans several chunks.
+                    let mut cur_it = 0usize;
+                    let mut cur_end = dlo + cb;
+                    while i < exts.len() {
+                        let e = exts[i];
+                        if e.offset >= dhi {
+                            break;
                         }
-                        let first = cur_it;
-                        let last = if clip_hi <= cur_end {
-                            cur_it
-                        } else {
-                            ((clip_hi - 1 - dlo) / cb) as usize
-                        };
-                        for it in first..=last {
-                            let c_lo = dlo + cb * it as u64;
-                            let c_hi = (c_lo + cb).min(dhi);
-                            let p_lo = clip_lo.max(c_lo);
-                            let p_hi = clip_hi.min(c_hi);
-                            debug_assert!(p_lo < p_hi);
-                            let slot = iter_base[a] + it;
-                            read_lo[slot] = read_lo[slot].min(p_lo);
-                            read_hi[slot] = read_hi[slot].max(p_hi);
-                            piece_count[it] += 1;
-                            recs.push((
-                                it as u32,
-                                r as u32,
-                                Piece {
-                                    extent: Extent {
-                                        offset: p_lo,
-                                        len: p_hi - p_lo,
+                        let clip_lo = e.offset.max(dlo);
+                        let clip_hi = e.end().min(dhi);
+                        if clip_lo < clip_hi {
+                            while clip_lo >= cur_end {
+                                cur_it += 1;
+                                cur_end += cb;
+                            }
+                            let first = cur_it;
+                            let last = if clip_hi <= cur_end {
+                                cur_it
+                            } else {
+                                ((clip_hi - 1 - dlo) / cb) as usize
+                            };
+                            for it in first..=last {
+                                let c_lo = dlo + cb * it as u64;
+                                let c_hi = (c_lo + cb).min(dhi);
+                                let p_lo = clip_lo.max(c_lo);
+                                let p_hi = clip_hi.min(c_hi);
+                                debug_assert!(p_lo < p_hi);
+                                let slot = iter_base[a] + it;
+                                read_lo[slot] = read_lo[slot].min(p_lo);
+                                read_hi[slot] = read_hi[slot].max(p_hi);
+                                piece_count[it] += 1;
+                                recs.push((
+                                    it as u32,
+                                    r as u32,
+                                    Piece {
+                                        extent: Extent {
+                                            offset: p_lo,
+                                            len: p_hi - p_lo,
+                                        },
+                                        buf_offset: buf + (p_lo - e.offset),
                                     },
-                                    buf_offset: buf + (p_lo - e.offset),
-                                },
-                            ));
-                            if it != prev_it {
-                                prev_it = it;
-                                dest_count[it] += 1;
+                                ));
+                                if it != prev_it {
+                                    prev_it = it;
+                                    dest_count[it] += 1;
+                                }
+                            }
+                        }
+                        if e.end() <= dhi {
+                            buf += e.len;
+                            i += 1;
+                        } else {
+                            // Spans into the next domain: leave the cursor on it.
+                            break;
+                        }
+                    }
+                    cursor[r] = i;
+                    bufpos[r] = buf;
+                }
+            } else {
+                // Strided domain: locate each rank's pieces in the bounding
+                // box, then clip them to the domain's blocks and chunks. The
+                // in-domain offset→iteration map is monotone in file offset,
+                // so the record stream keeps the invariants the scatter
+                // relies on (rank-major, iterations ascending within a rank,
+                // per-(it, rank) records contiguous).
+                let cpb = dom.chunks_per_block(cb);
+                let bpc = dom.blocks_per_chunk(cb);
+                for r in 0..nprocs {
+                    let mut prev_it = usize::MAX;
+                    for piece in plan.requests[r].locate(dlo, dhi) {
+                        let (plo, phi) = (piece.extent.offset, piece.extent.end());
+                        let first_b = (plo.max(dom.start) - dom.start) / dom.stride;
+                        let last_b = ((phi - 1 - dom.start) / dom.stride).min(dom.nblocks - 1);
+                        for b in first_b..=last_b {
+                            let bstart = dom.start + b * dom.stride;
+                            let bend = bstart + dom.block;
+                            let s = plo.max(bstart);
+                            let e = phi.min(bend);
+                            if s >= e {
+                                continue;
+                            }
+                            let first_c = ((s - bstart) / cb) as usize;
+                            let last_c = ((e - 1 - bstart) / cb) as usize;
+                            for c in first_c..=last_c {
+                                let c_lo = bstart + cb * c as u64;
+                                let c_hi = (c_lo + cb).min(bend);
+                                let p_lo = s.max(c_lo);
+                                let p_hi = e.min(c_hi);
+                                debug_assert!(p_lo < p_hi);
+                                // Merged multi-block iterations (cpb == 1,
+                                // bpc > 1) map consecutive blocks onto one
+                                // slot; block order keeps the stream's
+                                // iteration-ascending invariant.
+                                let it = if cpb > 1 {
+                                    b as usize * cpb + c
+                                } else {
+                                    (b / bpc) as usize
+                                };
+                                let slot = iter_base[a] + it;
+                                read_lo[slot] = read_lo[slot].min(p_lo);
+                                read_hi[slot] = read_hi[slot].max(p_hi);
+                                piece_count[it] += 1;
+                                recs.push((
+                                    it as u32,
+                                    r as u32,
+                                    Piece {
+                                        extent: Extent {
+                                            offset: p_lo,
+                                            len: p_hi - p_lo,
+                                        },
+                                        buf_offset: piece.buf_offset + (p_lo - plo),
+                                    },
+                                ));
+                                if it != prev_it {
+                                    prev_it = it;
+                                    dest_count[it] += 1;
+                                }
                             }
                         }
                     }
-                    if e.end() <= dhi {
-                        buf += e.len;
-                        i += 1;
-                    } else {
-                        // Spans into the next domain: leave the cursor on it.
-                        break;
-                    }
                 }
-                cursor[r] = i;
-                bufpos[r] = buf;
             }
 
             // Relative write cursors for this domain's slots, and the CSR
@@ -298,6 +388,31 @@ impl PlanSchedule {
             dest_rank.extend_from_slice(&local_dest_rank[..d]);
             piece_base.extend_from_slice(&local_piece_base[..d]);
 
+            // Per-slot covering read ranges, one per covered block: the
+            // extents the vectorized read of this iteration services. For
+            // single-block slots this is exactly `(read_lo, read_hi)`; a
+            // merged multi-block slot gets one range per block so the
+            // stride gaps (other aggregators' bytes) are never read.
+            let mut p0 = 0usize;
+            for &cnt in piece_count.iter().take(n_it) {
+                blk_cov.clear();
+                for piece in &local_pieces[p0..p0 + cnt] {
+                    let b = (piece.extent.offset - dom.start) / dom.stride;
+                    let (plo, phi) = (piece.extent.offset, piece.extent.end());
+                    match blk_cov.iter_mut().find(|(bb, _, _)| *bb == b) {
+                        Some((_, lo, hi)) => {
+                            *lo = (*lo).min(plo);
+                            *hi = (*hi).max(phi);
+                        }
+                        None => blk_cov.push((b, plo, phi)),
+                    }
+                }
+                blk_cov.sort_unstable();
+                ranges.extend(blk_cov.iter().map(|&(_, lo, hi)| (lo, hi - lo)));
+                range_base.push(ranges.len());
+                p0 += cnt;
+            }
+
             // Source lists: walking this domain's destinations slot-major
             // visits each rank's chunks in (aggregator, iteration) order, so
             // appending per rank preserves the deterministic source order —
@@ -345,11 +460,13 @@ impl PlanSchedule {
                 src_base,
                 sources,
                 src_dest,
+                range_base,
             }),
             geom: Arc::new(ScheduleGeom {
                 read_lo,
                 read_hi,
                 pieces,
+                ranges,
             }),
         }
     }
@@ -396,6 +513,24 @@ impl PlanSchedule {
         let slot = self.index.iter_base[agg_idx] + iter;
         let (lo, hi) = (self.geom.read_lo[slot], self.geom.read_hi[slot]);
         (lo < hi).then_some((lo, hi))
+    }
+
+    /// The `(offset, len)` extents the vectorized read of chunk
+    /// `(agg_idx, iter)` services — the covering range of each covered
+    /// block holding requested bytes, ascending and disjoint. Empty when
+    /// the chunk holds no requested bytes. Handing the whole list to one
+    /// `read_multi`/`write_multi` call lets the file system merge
+    /// object-contiguous stripes across consecutive blocks into single
+    /// seek-charged runs.
+    pub fn read_ranges(&self, agg_idx: usize, iter: usize) -> &[(u64, u64)] {
+        let slot = self.index.iter_base[agg_idx] + iter;
+        &self.geom.ranges[self.index.range_base[slot]..self.index.range_base[slot + 1]]
+    }
+
+    /// Calls `f` with the in-domain sub-ranges of iteration `iter` of
+    /// `agg_idx`, one per covered block, ascending.
+    pub fn chunk_blocks(&self, agg_idx: usize, iter: usize, f: impl FnMut(u64, u64)) {
+        self.plan.chunk_blocks(agg_idx, iter, f)
     }
 
     /// The ranks receiving bytes from chunk `(agg_idx, iter)`, ascending.
@@ -522,14 +657,14 @@ impl PlanSchedule {
                 buf_offset: p.buf_offset,
             })
             .collect();
+        let ranges = t.ranges.iter().map(|&(lo, len)| (shift(lo), len)).collect();
+        // Domains may start before the global minimum offset (group-cyclic
+        // domains anchor at period boundaries), so they shift by the signed
+        // delta rather than through `shift`.
+        let delta = new_lo as i64 - old_lo as i64;
         let plan = CollectivePlan {
             aggregators: self.plan.aggregators.clone(),
-            domains: self
-                .plan
-                .domains
-                .iter()
-                .map(|&(lo, hi)| (shift(lo), shift(hi)))
-                .collect(),
+            domains: self.plan.domains.iter().map(|d| d.shifted(delta)).collect(),
             cb: self.plan.cb,
             requests: new_requests,
         };
@@ -540,6 +675,7 @@ impl PlanSchedule {
                 read_lo,
                 read_hi,
                 pieces,
+                ranges,
             }),
         }
     }
@@ -595,9 +731,10 @@ struct CacheEntry {
 /// key match the requests are verified extent-by-extent against the cached
 /// step, so a fingerprint collision degrades to a recompile, never to a
 /// wrong schedule. The translation fast path additionally requires the
-/// offset delta to be a multiple of `align_domains_to` (when set) —
-/// domain alignment rounds *absolute* offsets, so only then is the
-/// partition translation-equivariant.
+/// offset delta to be a multiple of [`Hints::translation_period`] — domain
+/// partitioning rounds *absolute* offsets (alignment multiples, stripe
+/// boundaries, round-robin periods), so only such shifts move the
+/// partition rigidly.
 #[derive(Default)]
 pub struct PlanCache {
     entries: HashMap<CacheKey, CacheEntry>,
@@ -656,10 +793,13 @@ impl PlanCache {
                     schedule.plan.requests = requests;
                     return (schedule, CacheOutcome::Hit);
                 }
-                let delta_aligned = match hints.align_domains_to {
-                    Some(a) => (lo as i128 - entry.lo as i128).rem_euclid(a as i128) == 0,
-                    None => true,
-                };
+                // The partition is translation-equivariant only for shifts
+                // that are multiples of its period: the alignment for even
+                // domains, lcm(alignment, stripe) for stripe-aligned, the
+                // full round-robin period for group-cyclic.
+                let period = hints.translation_period();
+                let delta_aligned =
+                    (lo as i128 - entry.lo as i128).rem_euclid(period as i128) == 0;
                 if delta_aligned {
                     self.stats.translations += 1;
                     let schedule = entry.schedule.translate(requests, entry.lo, lo);
@@ -724,12 +864,31 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    use crate::hints::{DomainPartition, Striping};
+
     fn hints(cb: u64) -> Hints {
         Hints {
             cb_buffer_size: cb,
             aggregators_per_node: 1,
             nonblocking: true,
             align_domains_to: None,
+            ..Hints::default()
+        }
+    }
+
+    fn partition_from(idx: usize) -> DomainPartition {
+        [
+            DomainPartition::Even,
+            DomainPartition::StripeAligned,
+            DomainPartition::GroupCyclic,
+        ][idx]
+    }
+
+    fn group_cyclic_hints(cb: u64, unit: u64, factor: usize) -> Hints {
+        Hints {
+            domain_partition: DomainPartition::GroupCyclic,
+            striping: Some(Striping { unit, factor }),
+            ..hints(cb)
         }
     }
 
@@ -745,6 +904,11 @@ mod tests {
             );
             for it in 0..plan.n_iterations(a) {
                 assert_eq!(sched.read_range(a, it), plan.read_range(a, it), "read_range({a},{it})");
+                assert_eq!(
+                    sched.read_ranges(a, it),
+                    plan.read_ranges(a, it).as_slice(),
+                    "read_ranges({a},{it})"
+                );
                 assert_eq!(
                     sched.destinations(a, it),
                     plan.destinations(a, it).as_slice(),
@@ -859,6 +1023,33 @@ mod tests {
     }
 
     #[test]
+    fn compiled_matches_oracle_group_cyclic() {
+        let topo = Topology::new(2, 2);
+        let reqs = interleaved(4, 20, 10);
+        let plan = CollectivePlan::build(reqs, &topo, 4, &group_cyclic_hints(16, 16, 4));
+        assert!(plan.domains.iter().any(|d| !d.is_contiguous()));
+        let sched = PlanSchedule::compile(plan.clone());
+        assert_matches_oracle(&plan, &sched);
+    }
+
+    #[test]
+    fn compiled_matches_oracle_group_cyclic_sparse() {
+        let topo = Topology::new(1, 4);
+        let reqs = vec![
+            OffsetList::empty(),
+            OffsetList::new(vec![
+                Extent { offset: 13, len: 5 },
+                Extent { offset: 900, len: 130 },
+            ]),
+            OffsetList::empty(),
+            OffsetList::new(vec![Extent { offset: 500, len: 1 }]),
+        ];
+        let plan = CollectivePlan::build(reqs, &topo, 4, &group_cyclic_hints(32, 64, 3));
+        let sched = PlanSchedule::compile(plan.clone());
+        assert_matches_oracle(&plan, &sched);
+    }
+
+    #[test]
     fn cache_hits_on_identical_requests() {
         let topo = Topology::new(1, 2);
         let reqs = interleaved(2, 8, 16);
@@ -953,6 +1144,56 @@ mod tests {
         assert_eq!(o, CacheOutcome::Miss);
     }
 
+    #[test]
+    fn cache_distinguishes_partition_strategies() {
+        // Same requests under a different domain strategy must miss: the
+        // strategy (and striping) are part of the hints, hence the key.
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 4, 8);
+        let mut cache = PlanCache::new();
+        let _ = cache.get_or_compile(reqs.clone(), &topo, 2, &hints(64));
+        let (_, o) = cache.get_or_compile_traced(reqs.clone(), &topo, 2, &group_cyclic_hints(64, 16, 2));
+        assert_eq!(o, CacheOutcome::Miss);
+        let (_, o) = cache.get_or_compile_traced(reqs, &topo, 2, &group_cyclic_hints(64, 16, 2));
+        assert_eq!(o, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn cache_translates_group_cyclic_by_full_periods() {
+        let topo = Topology::new(2, 2);
+        let h = group_cyclic_hints(16, 16, 4); // period 64
+        let base = interleaved(4, 12, 8);
+        let shift_by = |reqs: &[OffsetList], delta: u64| -> Vec<OffsetList> {
+            reqs.iter()
+                .map(|r| {
+                    OffsetList::new(
+                        r.extents()
+                            .iter()
+                            .map(|e| Extent {
+                                offset: e.offset + delta,
+                                len: e.len,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        let mut cache = PlanCache::new();
+        let (compiled, o1) = cache.get_or_compile_traced(base.clone(), &topo, 4, &h);
+        assert_eq!(o1, CacheOutcome::Miss);
+        // A shift of 3 periods translates...
+        let shifted = shift_by(&base, 3 * 64);
+        let (translated, o2) = cache.get_or_compile_traced(shifted.clone(), &topo, 4, &h);
+        assert_eq!(o2, CacheOutcome::Translated);
+        assert!(Arc::ptr_eq(&compiled.index, &translated.index));
+        let fresh = PlanSchedule::compile(CollectivePlan::build(shifted, &topo, 4, &h));
+        assert_eq!(translated.plan.domains, fresh.plan.domains);
+        assert_eq!(*translated.geom, *fresh.geom);
+        // ...a mid-period shift does not (the slot assignment changes).
+        let (_, o3) = cache.get_or_compile_traced(shift_by(&base, 24), &topo, 4, &h);
+        assert_eq!(o3, CacheOutcome::Miss);
+    }
+
     prop_compose! {
         /// Random per-rank requests: some ranks empty, sparse holes.
         fn arb_requests(max_ranks: usize)(
@@ -984,11 +1225,18 @@ mod tests {
             cb in 1u64..300,
             nodes in 1usize..3,
             align in proptest::option::of(1u64..96),
+            partition_idx in 0usize..3,
+            striping in proptest::option::of((1u64..48, 1usize..6)),
         ) {
             let nprocs = reqs.len();
             let cores = nprocs.div_ceil(nodes);
             let topo = Topology::new(nodes, cores.max(1));
-            let h = Hints { align_domains_to: align, ..hints(cb) };
+            let h = Hints {
+                align_domains_to: align,
+                domain_partition: partition_from(partition_idx),
+                striping: striping.map(|(unit, factor)| Striping { unit, factor }),
+                ..hints(cb)
+            };
             let plan = CollectivePlan::build(reqs, &topo, nprocs, &h);
             let sched = PlanSchedule::compile(plan.clone());
             assert_matches_oracle(&plan, &sched);
@@ -1000,12 +1248,20 @@ mod tests {
             cb in 1u64..200,
             delta_steps in 1u64..50,
             align in proptest::option::of(1u64..64),
+            partition_idx in 0usize..3,
+            striping in proptest::option::of((1u64..32, 1usize..5)),
         ) {
             let nprocs = reqs.len();
             let topo = Topology::new(1, nprocs);
-            let h = Hints { align_domains_to: align, ..hints(cb) };
-            // Keep the shift partition-safe: a multiple of the alignment.
-            let delta = delta_steps * align.unwrap_or(1);
+            let h = Hints {
+                align_domains_to: align,
+                domain_partition: partition_from(partition_idx),
+                striping: striping.map(|(unit, factor)| Striping { unit, factor }),
+                ..hints(cb)
+            };
+            // Keep the shift partition-safe: a multiple of the strategy's
+            // translation period.
+            let delta = delta_steps * h.translation_period();
             let shifted: Vec<OffsetList> = reqs
                 .iter()
                 .map(|r| OffsetList::new(

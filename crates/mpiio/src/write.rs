@@ -17,7 +17,7 @@ use cc_profile::{Activity, Segment};
 
 use crate::exchange::exchange_requests;
 use crate::extent::{Extent, OffsetList};
-use crate::hints::Hints;
+use crate::hints::{Hints, Striping};
 use crate::plan::CollectivePlan;
 use crate::schedule::{PlanCache, PlanSchedule};
 
@@ -94,6 +94,12 @@ pub fn collective_write_cached(
         my_request.total_bytes(),
         "write buffer does not match the request size"
     );
+    // Inject striping from the shared file handle (symmetric across
+    // ranks), mirroring the read engine: stripe-aware strategies and the
+    // plan-cache key see the layout as ordinary hints.
+    let mut hints = hints.clone();
+    hints.striping = Some(Striping::from(file.layout()));
+    let hints = &hints;
     let requests = exchange_requests(comm, my_request);
     let topology = comm.model().topology.clone();
     let schedule = match cache {
@@ -357,21 +363,19 @@ fn run_write_aggregator(
             comm.recycle_buf(bytes);
         }
         recv_done = arrival;
-        // Merge the received extents and write each contiguous run.
+        // Merge the received extents and write the whole chunk as one
+        // vectorized call: the file system groups the runs per OST, merges
+        // object-contiguous pieces, and books each OST once — one seek per
+        // merged run instead of one write call per file-contiguous run.
         let merged = OffsetList::new(extents);
         let assemble = cpu.memcpy_time(merged.total_bytes() as usize);
         let ready = arrival.max(io_lane.free_at()) + assemble;
         let mut write_done = ready;
-        for e in merged.extents() {
-            let off = (e.offset - clo) as usize;
-            let t = pfs.write_at(
-                file,
-                e.offset,
-                &chunk[off..off + e.len as usize],
-                write_done,
-            );
-            write_done = t;
-            report.bytes_written += e.len;
+        if merged.total_bytes() > 0 {
+            let ranges: Vec<(u64, u64)> =
+                merged.extents().iter().map(|e| (e.offset, e.len)).collect();
+            write_done = pfs.write_multi(file, clo, &chunk, &ranges, ready);
+            report.bytes_written += merged.total_bytes();
             report.writes_issued += 1;
         }
         io_lane.advance_to(write_done);

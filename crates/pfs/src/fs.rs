@@ -73,6 +73,20 @@ impl FileHandle {
     }
 }
 
+/// A point-in-time OST load snapshot, for surfacing striping imbalance
+/// in iterative outcomes and benchmark artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OstBalance {
+    /// Number of OSTs in the pool.
+    pub osts: usize,
+    /// Busiest OST's booked service seconds over the mean (1.0 = balanced).
+    pub imbalance: f64,
+    /// Service seconds booked on the busiest OST.
+    pub busiest_secs: f64,
+    /// Mean service seconds booked per OST.
+    pub mean_secs: f64,
+}
+
 /// A simulated striped parallel file system.
 pub struct Pfs {
     pool: OstPool,
@@ -189,6 +203,87 @@ impl Pfs {
         done
     }
 
+    /// Reads several sorted, disjoint ranges of one collective-buffer
+    /// iteration in a single vectorized call. Data lands in `buf` at
+    /// `offset - base` (cleared, then resized to cover `base..` through the
+    /// farthest range end); the timing model groups the object extents of
+    /// *all* ranges per OST, merges object-contiguous runs, and books each
+    /// OST once under a single lock — one seek charged per merged run, not
+    /// per extent. Returns the completion time (`now` if nothing to read).
+    pub fn read_multi(
+        &self,
+        file: &FileHandle,
+        base: u64,
+        ranges: &[(u64, u64)],
+        now: SimTime,
+        buf: &mut Vec<u8>,
+    ) -> SimTime {
+        let total = self.check_ranges(file, base, ranges, "read_multi");
+        let span = ranges.iter().map(|&(o, l)| o + l).max().unwrap_or(base) - base;
+        buf.clear();
+        buf.resize(span as usize, 0);
+        for &(off, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            let dst = (off - base) as usize;
+            file.backend.read_into(off, &mut buf[dst..dst + len as usize]);
+        }
+        let done = self.charge_io_multi(file, ranges, now);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(total, Ordering::Relaxed);
+        done
+    }
+
+    /// Vectorized counterpart of [`write_at`](Self::write_at): writes the
+    /// sorted, disjoint `ranges`, sourcing each from `data[offset - base..]`,
+    /// and charges the whole batch with per-OST run merging and one booking
+    /// lock per OST. Returns the completion time.
+    pub fn write_multi(
+        &self,
+        file: &FileHandle,
+        base: u64,
+        data: &[u8],
+        ranges: &[(u64, u64)],
+        now: SimTime,
+    ) -> SimTime {
+        let total = self.check_ranges(file, base, ranges, "write_multi");
+        for &(off, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            let src = (off - base) as usize;
+            file.backend.write_at(off, &data[src..src + len as usize]);
+        }
+        let done = self.charge_io_multi(file, ranges, now);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(total, Ordering::Relaxed);
+        done
+    }
+
+    /// Validates a vectorized range list (sorted, disjoint, at or after
+    /// `base`, within the file) and returns the total byte count.
+    fn check_ranges(&self, file: &FileHandle, base: u64, ranges: &[(u64, u64)], op: &str) -> u64 {
+        let mut prev_end = base;
+        let mut total = 0u64;
+        for &(off, len) in ranges {
+            assert!(
+                off >= prev_end,
+                "{op} ranges must be sorted and disjoint at or after base {base}"
+            );
+            assert!(
+                off + len <= file.size(),
+                "{op} [{off}, {}) beyond file '{}' of size {}",
+                off + len,
+                file.name,
+                file.size()
+            );
+            prev_end = off + len;
+            total += len;
+        }
+        total
+    }
+
     /// Writes `data` at `offset`, requested at virtual time `now`. Returns
     /// the completion time.
     pub fn write_at(&self, file: &FileHandle, offset: u64, data: &[u8], now: SimTime) -> SimTime {
@@ -254,6 +349,61 @@ impl Pfs {
         done
     }
 
+    /// Charges the timing of one vectorized I/O call: transient-fault
+    /// retries once for the batch, then the object extents of *all* ranges
+    /// grouped per OST, sorted by object offset, merged into contiguous
+    /// runs, and booked on each OST under a single lock acquisition. OSTs
+    /// proceed in parallel; runs on one OST queue.
+    fn charge_io_multi(&self, file: &FileHandle, ranges: &[(u64, u64)], now: SimTime) -> SimTime {
+        let mut start = now;
+        if let Some(plan) = &self.fault {
+            let mut tries = 0;
+            while plan.attempt_fails() {
+                tries += 1;
+                assert!(
+                    tries <= plan.max_retries,
+                    "I/O on '{}' failed permanently after {} retries",
+                    file.name,
+                    plan.max_retries
+                );
+                plan.note_retry();
+                start += plan.retry_penalty;
+            }
+        }
+        // (object_offset, len) pieces grouped per OST across all ranges.
+        let mut per_ost: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
+        for &(off, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            for ext in file.layout.map_range(off, len) {
+                match per_ost.iter_mut().find(|(o, _)| *o == ext.ost) {
+                    Some((_, list)) => list.push((ext.object_offset, ext.len)),
+                    None => per_ost.push((ext.ost, vec![(ext.object_offset, ext.len)])),
+                }
+            }
+        }
+        let mut done = start;
+        let mut runs: Vec<u64> = Vec::new();
+        for (ost, mut pieces) in per_ost {
+            pieces.sort_unstable();
+            runs.clear();
+            let mut last_end = u64::MAX;
+            for (obj_off, len) in pieces {
+                if obj_off == last_end {
+                    *runs.last_mut().unwrap() += len; // object-contiguous: no new seek
+                } else {
+                    runs.push(len);
+                }
+                last_end = obj_off + len;
+            }
+            let ost_done = self.pool.book_many(ost, start, &runs);
+            self.stats.extents_served.fetch_add(runs.len() as u64, Ordering::Relaxed);
+            done = done.max(ost_done);
+        }
+        done
+    }
+
     /// A snapshot of the global counters.
     pub fn stats(&self) -> PfsStatsSnapshot {
         self.stats.snapshot()
@@ -272,6 +422,21 @@ impl Pfs {
     /// OST load imbalance: busiest over mean, 1.0 = balanced.
     pub fn ost_imbalance(&self) -> f64 {
         self.pool.imbalance()
+    }
+
+    /// A point-in-time OST load snapshot (count, imbalance, busiest and
+    /// mean service seconds) for outcomes and benchmark artifacts.
+    pub fn ost_balance(&self) -> OstBalance {
+        let busy = self.pool.per_ost_busy_secs();
+        let total: f64 = busy.iter().sum();
+        let busiest = busy.iter().cloned().fold(0.0, f64::max);
+        let mean = total / busy.len() as f64;
+        OstBalance {
+            osts: busy.len(),
+            imbalance: if total <= 0.0 { 1.0 } else { busiest / mean },
+            busiest_secs: busiest,
+            mean_secs: mean,
+        }
     }
 }
 
@@ -422,5 +587,94 @@ mod tests {
         let (d, t) = fs.read_at(&f, 50, 0, SimTime::from_secs(3.0));
         assert!(d.is_empty());
         assert_eq!(t.secs(), 3.0);
+    }
+
+    #[test]
+    fn read_multi_single_range_matches_read_at() {
+        let fs_a = test_fs(4);
+        let fa = mem_file(&fs_a, 4000, 64, 4);
+        let fs_b = test_fs(4);
+        let fb = mem_file(&fs_b, 4000, 64, 4);
+        let (want, t_at) = fs_a.read_at(&fa, 128, 1000, SimTime::ZERO);
+        let mut buf = Vec::new();
+        let t_multi = fs_b.read_multi(&fb, 128, &[(128, 1000)], SimTime::ZERO, &mut buf);
+        assert_eq!(buf, want);
+        assert_eq!(t_multi, t_at, "single-range timing must be identical");
+        assert_eq!(fs_a.stats().extents_served, fs_b.stats().extents_served);
+    }
+
+    #[test]
+    fn read_multi_scatters_into_covering_buffer() {
+        let fs = test_fs(2);
+        let f = mem_file(&fs, 1000, 32, 2);
+        let mut buf = Vec::new();
+        fs.read_multi(&f, 100, &[(110, 20), (200, 10)], SimTime::ZERO, &mut buf);
+        assert_eq!(buf.len(), 110); // covers [100, 210)
+        let want: Vec<u8> = (110..130).map(|i| (i % 251) as u8).collect();
+        assert_eq!(&buf[10..30], &want[..]);
+        let want2: Vec<u8> = (200..210).map(|i| (i % 251) as u8).collect();
+        assert_eq!(&buf[100..110], &want2[..]);
+        assert!(buf[0..10].iter().all(|&b| b == 0), "gap bytes stay zero");
+    }
+
+    #[test]
+    fn read_multi_merges_object_contiguous_ranges() {
+        // Stripe 32 over 2 OSTs: file ranges [0,32) and [64,32) are the
+        // first two stripes of OST 0 — object-contiguous, so the batch
+        // charges ONE seek, while separate reads charge two.
+        let fs_a = test_fs(2);
+        let fa = mem_file(&fs_a, 1000, 32, 2);
+        let mut buf = Vec::new();
+        let t_multi = fs_a.read_multi(&fa, 0, &[(0, 32), (64, 32)], SimTime::ZERO, &mut buf);
+        assert_eq!(fs_a.stats().extents_served, 1);
+
+        let fs_b = test_fs(2);
+        let fb = mem_file(&fs_b, 1000, 32, 2);
+        let t1 = fs_b.read_at(&fb, 0, 32, SimTime::ZERO).1;
+        let (_, t2) = fs_b.read_at(&fb, 64, 32, t1);
+        assert_eq!(fs_b.stats().extents_served, 2);
+        assert!(
+            t_multi < t2,
+            "coalesced batch {t_multi} should beat sequential reads {t2}"
+        );
+    }
+
+    #[test]
+    fn write_multi_roundtrips_and_coalesces() {
+        let fs = test_fs(2);
+        let f = fs.create(
+            "w",
+            StripeLayout::round_robin(8, 2, 0, 2),
+            Box::new(MemBackend::zeroed(64)),
+        );
+        let data: Vec<u8> = (0..32).map(|i| i as u8 + 1).collect();
+        fs.write_multi(&f, 4, &data, &[(4, 6), (20, 4)], SimTime::ZERO);
+        let (got, _) = fs.read_at(&f, 0, 32, SimTime::ZERO);
+        assert_eq!(&got[4..10], &data[0..6]);
+        assert_eq!(&got[20..24], &data[16..20]);
+        assert!(got[10..20].iter().all(|&b| b == 0));
+        assert_eq!(fs.stats().writes, 1);
+        assert_eq!(fs.stats().bytes_written, 10);
+    }
+
+    #[test]
+    fn ost_balance_snapshot_matches_imbalance() {
+        let fs = test_fs(2);
+        let f = mem_file(&fs, 1000, 1000, 1); // all traffic on OST 0
+        fs.read_at(&f, 0, 500, SimTime::ZERO);
+        let b = fs.ost_balance();
+        assert_eq!(b.osts, 2);
+        assert!((b.imbalance - fs.ost_imbalance()).abs() < 1e-12);
+        assert!((b.imbalance - 2.0).abs() < 1e-12, "one of two OSTs busy");
+        assert!(b.busiest_secs > 0.0 && (b.mean_secs - b.busiest_secs / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_multi_rejects_unsorted_ranges() {
+        let fs = test_fs(1);
+        let f = mem_file(&fs, 100, 64, 1);
+        let mut buf = Vec::new();
+        fs.read_multi(&f, 0, &[(50, 10), (10, 10)], SimTime::ZERO, &mut buf);
     }
 }

@@ -22,5 +22,5 @@ pub mod ost;
 
 pub use backend::{Backend, MemBackend, OverlayBackend, SyntheticBackend, ValueFn};
 pub use fault::RetryPlan;
-pub use fs::{FileHandle, Pfs, PfsStats};
+pub use fs::{FileHandle, OstBalance, Pfs, PfsStats};
 pub use layout::StripeLayout;

@@ -36,8 +36,12 @@ impl OstState {
     /// `now`; returns its end.
     fn book(&mut self, now: SimTime, dur: SimTime) -> SimTime {
         let mut start = now;
+        // Intervals ending at or before `now` can never conflict nor offer
+        // a usable gap, so the scan starts at the first interval ending
+        // after `now` — deep virtual-future books skip the whole history.
+        let first = self.busy.partition_point(|&(_, e)| e <= now);
         let mut pos = self.busy.len();
-        for (i, &(b_start, b_end)) in self.busy.iter().enumerate() {
+        for (i, &(b_start, b_end)) in self.busy.iter().enumerate().skip(first) {
             if b_end <= start {
                 continue; // interval entirely before our earliest start
             }
@@ -145,6 +149,26 @@ impl OstPool {
         state.requests += 1;
         state.bytes += bytes;
         state.busy_secs += service.secs();
+        done
+    }
+
+    /// Serves a batch of merged extent runs on `ost` under a single lock
+    /// acquisition, chaining each run after the previous one's completion
+    /// exactly as sequential [`serve`](Self::serve) calls would. Returns
+    /// the completion time of the last run (`now` if the batch is empty).
+    pub fn book_many(&self, ost: usize, now: SimTime, byte_runs: &[u64]) -> SimTime {
+        if byte_runs.is_empty() {
+            return now;
+        }
+        let mut state = self.osts[ost].lock().unwrap();
+        let mut done = now;
+        for &bytes in byte_runs {
+            let service = self.disk.service_time(bytes as usize).scale(self.slowdown[ost]);
+            done = state.book(done, service);
+            state.requests += 1;
+            state.bytes += bytes;
+            state.busy_secs += service.secs();
+        }
         done
     }
 
@@ -322,7 +346,71 @@ mod tests {
         assert_eq!(p.per_ost_totals(), vec![(2, 30), (1, 5)]);
     }
 
+    #[test]
+    fn book_many_matches_sequential_serves() {
+        let p = pool();
+        let q = pool();
+        let _ = p.serve(0, t(3.0), 100); // pre-existing booking to backfill around
+        let _ = q.serve(0, t(3.0), 100);
+        let runs = [100u64, 50, 200];
+        let batched = p.book_many(0, SimTime::ZERO, &runs);
+        let mut chained = SimTime::ZERO;
+        for &bytes in &runs {
+            chained = q.serve(0, chained, bytes);
+        }
+        assert_eq!(batched, chained);
+        assert_eq!(p.per_ost_totals(), q.per_ost_totals());
+    }
+
+    #[test]
+    fn book_many_empty_batch_is_free() {
+        let p = pool();
+        assert_eq!(p.book_many(0, t(5.0), &[]), t(5.0));
+        assert_eq!(p.per_ost_totals()[0], (0, 0));
+    }
+
+    #[test]
+    fn deep_future_book_skips_history() {
+        // Many early bookings, then one far in the virtual future: the
+        // partition_point start must land it correctly after history.
+        let p = pool();
+        for i in 0..50 {
+            let _ = p.serve(0, t(i as f64 * 10.0), 100); // [10i, 10i+2)
+        }
+        let d = p.serve(0, t(1000.0), 100);
+        assert_eq!(d.secs(), 1002.0);
+        // And a backfill into an early gap still works.
+        let d = p.serve(0, t(2.0), 100);
+        assert_eq!(d.secs(), 4.0);
+    }
+
     proptest! {
+        #[test]
+        fn prop_book_many_equals_sequential_book_oracle(
+            pre in proptest::collection::vec((0u64..200, 1u64..400), 0..10),
+            runs in proptest::collection::vec(1u64..500, 0..20),
+            now in 0u64..300,
+        ) {
+            // book_many on a batch of merged runs lands exactly where a
+            // chain of sequential serve calls would, with identical totals.
+            let p = pool();
+            let q = pool();
+            for (at, bytes) in &pre {
+                let at = SimTime::from_secs(*at as f64 / 10.0);
+                let _ = p.serve(0, at, *bytes);
+                let _ = q.serve(0, at, *bytes);
+            }
+            let now = SimTime::from_secs(now as f64 / 10.0);
+            let batched = p.book_many(0, now, &runs);
+            let mut chained = now;
+            for &bytes in &runs {
+                chained = q.serve(0, chained, bytes);
+            }
+            prop_assert_eq!(batched, chained);
+            prop_assert_eq!(p.per_ost_totals(), q.per_ost_totals());
+            prop_assert!((p.per_ost_busy_secs()[0] - q.per_ost_busy_secs()[0]).abs() < 1e-9);
+        }
+
         #[test]
         fn prop_completion_respects_request_and_capacity(
             requests in proptest::collection::vec((0u64..1000, 1u64..500), 1..40),

@@ -35,6 +35,7 @@ fn main() {
         aggregators_per_node: 6,
         nonblocking: true,
         align_domains_to: Some(workload.stripe_size),
+        ..Hints::default()
     };
     println!(
         "variable: {:?} f32 = {:.1} TB (virtual, lazily generated)",

@@ -19,6 +19,7 @@ fn setup() -> (ClimateWorkload, ClusterModel, Hints) {
         aggregators_per_node: 1,
         nonblocking: true,
         align_domains_to: Some(workload.stripe_size),
+        ..Hints::default()
     };
     (workload, model, hints)
 }

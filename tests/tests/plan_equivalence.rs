@@ -22,8 +22,8 @@ use cc_integration::{build_var_fs, oracle_min_loc, oracle_sum, test_model, test_
 use cc_model::{CollectiveMode, DiskModel, SimTime};
 use cc_mpi::World;
 use cc_mpiio::{
-    collective_read, collective_read_cached, collective_write, collective_write_cached, Extent,
-    Hints, OffsetList, PlanCache,
+    collective_read, collective_read_cached, collective_write, collective_write_cached,
+    DomainPartition, Extent, Hints, OffsetList, PlanCache,
 };
 use cc_pfs::backend::ElemKind;
 use cc_pfs::{MemBackend, Pfs, StripeLayout, SyntheticBackend};
@@ -300,6 +300,86 @@ proptest! {
         }
         prop_assert_eq!(&reads[0], &reads[1], "hierarchical read bytes diverged from flat");
         prop_assert_eq!(&files[0], &files[1], "hierarchical written file diverged from flat");
+    }
+
+    /// Domain-partition strategies only redistribute *which aggregator*
+    /// serves which bytes: on a random sweep over a randomly-striped file,
+    /// Even, StripeAligned, and GroupCyclic must return bit-identical read
+    /// buffers and land bit-identical written files — through the plan
+    /// cache's hit/translation paths included.
+    #[test]
+    fn prop_partition_strategies_agree_bitwise(
+        sweep in arb_sweep(),
+        stripe_log in 5u64..11,
+        stripe_count in 1usize..5,
+    ) {
+        let nprocs = sweep.nprocs();
+        let size = sweep.file_size() + nprocs as u64 * ReqSweep::REGION;
+        let value_at = |o: u64| (o.wrapping_mul(167) ^ (o >> 4)) as u8;
+        let mut reads: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut files: Vec<Vec<u8>> = Vec::new();
+        for partition in [
+            DomainPartition::Even,
+            DomainPartition::StripeAligned,
+            DomainPartition::GroupCyclic,
+        ] {
+            let fs = Pfs::new(4, DiskModel::lustre_like());
+            for (name, backend) in [
+                (
+                    "t.nc",
+                    MemBackend::from_bytes((0..size).map(value_at).collect()),
+                ),
+                ("out.nc", MemBackend::zeroed(size as usize)),
+            ] {
+                fs.create(
+                    name,
+                    StripeLayout::round_robin(1 << stripe_log, stripe_count, 0, 4),
+                    Box::new(backend),
+                );
+            }
+            let fs = Arc::new(fs);
+            let world =
+                World::new(nprocs, test_model(sweep.nodes, nprocs.div_ceil(sweep.nodes)));
+            let per_rank = {
+                let fs = &fs;
+                let sweep_ref = &sweep;
+                world.run(move |comm| {
+                    let file = fs.open("t.nc").expect("exists");
+                    let out = fs.open("out.nc").expect("exists");
+                    let hints = Hints {
+                        domain_partition: partition,
+                        ..sweep_ref.hints()
+                    };
+                    let mut cache = PlanCache::new();
+                    let mut got = Vec::new();
+                    for step in 0..sweep_ref.steps {
+                        let req = sweep_ref.request(comm.rank(), step);
+                        let (bytes, _) = collective_read_cached(
+                            comm, fs, &file, &req, &hints, Some(&mut cache),
+                        );
+                        let wreq = sweep_ref.request_disjoint(comm.rank(), step);
+                        let data: Vec<u8> = wreq
+                            .extents()
+                            .iter()
+                            .flat_map(|e| (e.offset..e.end()).map(value_at))
+                            .collect();
+                        collective_write_cached(
+                            comm, fs, &out, &wreq, &data, &hints, Some(&mut cache),
+                        );
+                        got.push(bytes);
+                    }
+                    got
+                })
+            };
+            reads.push(per_rank.into_iter().flatten().collect());
+            let out = fs.open("out.nc").expect("exists");
+            let (file_bytes, _) = fs.read_at(&out, 0, size, SimTime::ZERO);
+            files.push(file_bytes);
+        }
+        prop_assert_eq!(&reads[0], &reads[1], "StripeAligned read bytes diverged from Even");
+        prop_assert_eq!(&reads[0], &reads[2], "GroupCyclic read bytes diverged from Even");
+        prop_assert_eq!(&files[0], &files[1], "StripeAligned written file diverged from Even");
+        prop_assert_eq!(&files[0], &files[2], "GroupCyclic written file diverged from Even");
     }
 }
 
