@@ -1,0 +1,84 @@
+//! Measures the virtual collective makespan of the two-phase read engine
+//! at every staging-ring depth — sequential (1 buffer), double buffer,
+//! depth 3, unbounded — on a read-dominated interleaved workload and
+//! writes `BENCH_pipeline.json`.
+//!
+//! Every depth runs the identical collective (same ranks, same requests,
+//! same striped file) through the real engine inside a full `World`; the
+//! binary asserts the per-rank FNV checksums are bit-identical before
+//! reporting anything, so the speedup comes from *overlapping* the read
+//! and shuffle legs, never from moving different bytes. `--quick` shrinks
+//! the scenario for CI smoke runs.
+
+use cc_bench::pipeline::{run_all, DepthOutcome, PipelineBenchConfig};
+use cc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = PipelineBenchConfig::for_scale(scale);
+    let out = run_all(&cfg);
+    let sequential = &out[0];
+
+    // Correctness gate: pipelining reorders when staging buffers fill,
+    // never what they carry.
+    for o in &out[1..] {
+        assert_eq!(
+            sequential.checksum, o.checksum,
+            "{} bytes diverged from sequential",
+            o.label
+        );
+    }
+
+    let speedup = |o: &DepthOutcome| sequential.elapsed_secs / o.elapsed_secs;
+    // Acceptance: double buffering must overlap enough of the shuffle leg
+    // to beat one-buffer staging by >= 1.5x on this read-dominated sweep.
+    assert!(
+        speedup(&out[1]) >= 1.5,
+        "depth-2 speedup only {:.2}x over sequential",
+        speedup(&out[1])
+    );
+
+    let leg_ratio = sequential.shuffle_secs / sequential.read_secs;
+    let row = |o: &DepthOutcome| {
+        format!(
+            "{{ \"elapsed_secs\": {:.6e}, \"speedup_vs_sequential\": {:.2}, \"read_secs\": {:.6e}, \"shuffle_secs\": {:.6e} }}",
+            o.elapsed_secs,
+            speedup(o),
+            o.read_secs,
+            o.shuffle_secs
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_depths\",\n  \"scale\": \"{}\",\n  \"speedup\": {:.2},\n  \"nprocs\": {},\n  \"aggregators\": {},\n  \"osts\": {},\n  \"stripe_unit\": {},\n  \"piece_bytes\": {},\n  \"pieces_per_rank\": {},\n  \"cb_stripes\": {},\n  \"iterations_per_aggregator\": {},\n  \"shuffle_to_read_ratio\": {:.3},\n  \"checksum\": \"{:016x}\",\n  \"sequential\": {},\n  \"depth_2\": {},\n  \"depth_3\": {},\n  \"unbounded\": {}\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        speedup(&out[1]),
+        cfg.nprocs,
+        cfg.nodes,
+        cfg.osts,
+        cfg.stripe_unit,
+        cfg.piece_bytes,
+        cfg.pieces_per_rank,
+        cfg.cb_stripes,
+        cfg.iterations_per_aggregator(),
+        leg_ratio,
+        sequential.checksum,
+        row(sequential),
+        row(&out[1]),
+        row(&out[2]),
+        row(&out[3]),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    eprintln!(
+        "double buffering {:.2}x vs sequential staging (shuffle:read leg ratio {:.2}) \
+         ({} ranks, {} aggregators, {} iterations/aggregator)",
+        speedup(&out[1]),
+        leg_ratio,
+        cfg.nprocs,
+        cfg.nodes,
+        cfg.iterations_per_aggregator()
+    );
+}

@@ -15,6 +15,7 @@ pub mod comm;
 pub mod figs;
 pub mod hotpath;
 pub mod layout;
+pub mod pipeline;
 pub mod plan;
 pub mod runner;
 

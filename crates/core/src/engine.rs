@@ -15,7 +15,7 @@
 //! the map rate scaled by the node's idle cores (see the crate docs).
 
 use cc_array::{construct_runs, Hyperslab, Variable};
-use cc_model::{Lane, SimTime};
+use cc_model::{BufferRing, Lane, SimTime};
 use cc_mpi::comm::TagValue;
 use cc_mpi::Comm;
 use cc_mpiio::exchange::exchange_requests;
@@ -351,29 +351,67 @@ fn run_map_pipeline(
         (comm.model().topology.cores_per_node / hints.aggregators_per_node).max(1) as f64;
     let start = comm.clock();
     // The I/O lane models the paper's I/O thread; the map lane models the
-    // node-parallel map workers (Fig. 7). Reads are gated only by the I/O
-    // lane — the runtime is assumed to have enough staging buffers to keep
-    // the disk streaming, which also keeps every rank's file-system
-    // requests causally close in virtual time (the OST queues are shared
-    // state; see cc-pfs::ost).
+    // node-parallel map workers (Fig. 7). With unbounded `PipelineDepth`,
+    // reads are gated only by the I/O lane — the runtime is assumed to
+    // have enough staging buffers to keep the disk streaming, which also
+    // keeps every rank's file-system requests causally close in virtual
+    // time (the OST queues are shared state; see cc-pfs::ost). A bounded
+    // depth stages iterations through a [`BufferRing`] over that many
+    // scratch slots: the read of iteration `i` additionally waits for
+    // iteration `i - depth` to finish mapping out of its slot. Blocking
+    // mode is depth 1 — read and map strictly alternate.
     let mut io_lane = Lane::free_from(start);
     let mut map_lane = Lane::free_from(start);
-    let single_lane = !hints.nonblocking;
+    let depth = if hints.nonblocking {
+        hints.pipeline_depth.bound()
+    } else {
+        Some(1)
+    };
+    let mut ring = depth.map(BufferRing::new);
+    let iters = schedule.active_iterations(agg_idx);
+    let nslots = depth.unwrap_or(1).min(iters.len()).max(1);
+    scratch.ensure_slots(nslots);
+    // Per-iteration read bookkeeping (`(rlo, ready, read_done)`), filled
+    // at issue time and consumed at map time `depth` iterations later.
+    let mut reads: Vec<Option<(u64, SimTime, SimTime)>> = vec![None; iters.len()];
+    let mut issued = 0usize;
     let mut last = start;
 
     let mut blocks: Vec<(u64, u64)> = Vec::new();
-    for &iter in schedule.active_iterations(agg_idx) {
-        let ranges = schedule.read_ranges(agg_idx, iter);
-        let Some(&(rlo, _)) = ranges.first() else {
+    for (pos, &iter) in iters.iter().enumerate() {
+        // Issue stage: software-pipelined read-ahead — book the OST
+        // extents of up to `depth` iterations while earlier ones map.
+        let horizon = match depth {
+            Some(d) => iters.len().min(pos + d),
+            None => pos + 1,
+        };
+        while issued < horizon {
+            let j = issued;
+            issued += 1;
+            let ranges = schedule.read_ranges(agg_idx, iters[j]);
+            let Some(&(rlo, _)) = ranges.first() else {
+                continue;
+            };
+            let floor = ring.as_ref().map_or(SimTime::ZERO, |r| r.available(j));
+            let ready = io_lane.free_at().max(floor);
+            let read_done =
+                pfs.read_multi(file, rlo, ranges, ready, &mut scratch.slots[j % nslots]);
+            io_lane.advance_to(read_done);
+            report.bytes_read += ranges.iter().map(|&(_, len)| len).sum::<u64>();
+            report
+                .segments
+                .push(Segment::new(ready, read_done, Activity::Wait));
+            reads[j] = Some((rlo, ready, read_done));
+        }
+        let Some((rlo, ready, read_done)) = reads[pos] else {
+            // Nothing was read for this iteration; carry the slot's
+            // previous drain time forward.
+            if let Some(r) = ring.as_mut() {
+                let t = r.available(pos);
+                r.drain(pos, t);
+            }
             continue;
         };
-        let ready = io_lane.free_at();
-        let read_done = pfs.read_multi(file, rlo, ranges, ready, &mut scratch.bytes);
-        io_lane.advance_to(read_done);
-        report.bytes_read += ranges.iter().map(|&(_, len)| len).sum::<u64>();
-        report
-            .segments
-            .push(Segment::new(ready, read_done, Activity::Wait));
 
         // Construct logical runs and map them, per destination owner and
         // per covered block — a merged iteration's bounding range spans
@@ -392,8 +430,10 @@ fn run_map_pipeline(
                     let len = run.len as usize * esize;
                     // Decode into the reused scratch slice: the kernel folds
                     // over `&[f64]` with no per-run allocation.
-                    var.dtype()
-                        .decode_into(&scratch.bytes[off..off + len], &mut scratch.values);
+                    var.dtype().decode_into(
+                        &scratch.slots[pos % nslots][off..off + len],
+                        &mut scratch.values,
+                    );
                     kernel.map(acc, run.start_elem, &scratch.values);
                     mapped_bytes += len;
                     entries += 1;
@@ -406,16 +446,11 @@ fn run_map_pipeline(
         let construct_cost = cpu.metadata_time(entries as usize);
         let map_cost = cpu.map_time(mapped_bytes).scale(1.0 / workers) + construct_cost;
         report.local_reduction += construct_cost;
-        let map_ready = if single_lane {
-            map_lane.advance_to(read_done);
-            read_done
-        } else {
-            read_done
-        };
-        let map_start = map_ready.max(map_lane.free_at());
-        let map_done = map_lane.acquire(map_ready, map_cost);
-        if single_lane {
-            io_lane.advance_to(map_done);
+        let map_start = read_done.max(map_lane.free_at());
+        let map_done = map_lane.acquire(read_done, map_cost);
+        // The slot is reusable once the kernel has folded its last run.
+        if let Some(r) = ring.as_mut() {
+            r.drain(pos, map_done);
         }
         report
             .segments
@@ -573,7 +608,13 @@ fn reduce_all_to_all(
         cc_mpi::elem::decode_into(&bytes, &mut scratch.words);
         comm.recycle_buf(bytes);
         for (owner, p) in IntermediateSet::decode(&scratch.words) {
-            assert_eq!(owner, comm.rank(), "misrouted intermediate result");
+            assert_eq!(
+                owner,
+                comm.rank(),
+                "rank {}: misrouted intermediate result from rank {src} \
+                 (owner {owner}, tag {tag:#x})",
+                comm.rank(),
+            );
             kernel.combine(&mut mine, &p);
             combines += 1;
         }

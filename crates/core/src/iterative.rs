@@ -53,11 +53,22 @@ pub fn iterative_get_vara(
     // One plan cache spans the sweep: steps that repeat (or merely shift)
     // the access shape reuse the compiled schedule instead of replanning.
     let mut plans = PlanCache::new();
-    for (var, io) in steps {
+    for (step_idx, (var, io)) in steps.iter().enumerate() {
         let out = object_get_vara_cached(comm, pfs, file, var, io, kernel, Some(&mut plans));
         if let Some(p) = &out.global_partial {
             at_root = true;
-            per_step.push(out.global.clone().expect("global accompanies partial"));
+            let Some(global) = out.global.clone() else {
+                // A malformed engine outcome would otherwise strand the
+                // sweep's peers mid-collective; panic with enough context
+                // for the supervisor's abort report to place the failure.
+                panic!(
+                    "rank {}: sweep step {step_idx}/{} produced a global \
+                     partial without its finalized global",
+                    comm.rank(),
+                    steps.len(),
+                );
+            };
+            per_step.push(global);
             // Fold the raw partials, which is exact for every kernel
             // (finalized outputs of kernels like `mean` cannot be folded).
             match &mut folded {
@@ -68,8 +79,17 @@ pub fn iterative_get_vara(
         outcomes.push(out);
     }
     IterativeOutcome {
-        global: at_root
-            .then(|| kernel.finalize(folded.as_ref().expect("folded at root"))),
+        global: at_root.then(|| {
+            let Some(acc) = folded.as_ref() else {
+                panic!(
+                    "rank {}: sweep marked at-root after {} steps but folded \
+                     no partial",
+                    comm.rank(),
+                    steps.len(),
+                );
+            };
+            kernel.finalize(acc)
+        }),
         per_step: at_root.then_some(per_step),
         steps: outcomes,
         plan_cache: plans.stats(),

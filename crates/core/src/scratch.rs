@@ -13,6 +13,12 @@
 pub struct Scratch {
     /// Chunk staging bytes (the aggregator's collective buffer).
     pub bytes: Vec<u8>,
+    /// Per-slot chunk staging arenas for the software-pipelined engine:
+    /// when the `PipelineDepth` hint bounds staging to `d` buffers, slot
+    /// `i % d` holds iteration `i`'s collective buffer while earlier
+    /// iterations are still draining theirs. Like the flat buffers, each
+    /// slot keeps its high-water allocation across iterations and steps.
+    pub slots: Vec<Vec<u8>>,
     /// Decoded run values handed to the kernel.
     pub values: Vec<f64>,
     /// Serialized partial/intermediate words bound for the wire.
@@ -24,6 +30,14 @@ impl Scratch {
     /// first use and stay there.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Makes sure at least `n` chunk slots exist (never shrinks, so an
+    /// iterative sweep alternating depths keeps every slot's allocation).
+    pub fn ensure_slots(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, Vec::new);
+        }
     }
 }
 

@@ -61,10 +61,14 @@ impl Default for Lane {
 /// buffers, iteration `i` may not restart its buffer until iteration
 /// `i - depth` has fully drained it.
 ///
-/// The collective engines deliberately do *not* bound their read-ahead
-/// with a ring (see `cc-mpiio::twophase` — bounding it couples rank
-/// clocks to shared OST state in a causality-violating way); the type
-/// remains for modeling pipelines whose buffer count genuinely binds.
+/// The collective engines stage every collective-buffer iteration through
+/// a ring of this kind when the `PipelineDepth` hint bounds their
+/// staging: depth 1 degenerates to the strictly-sequential (blocking)
+/// protocol, depth 2 is the classic double buffer, and the unbounded
+/// hint skips the ring entirely (reads gated only by the I/O lane, the
+/// engines' historical behavior). Drain times are rank-local lane
+/// completions, so bounding the ring never couples one rank's clock to
+/// another's through shared OST state.
 #[derive(Debug, Clone)]
 pub struct BufferRing {
     drained_at: Vec<SimTime>,

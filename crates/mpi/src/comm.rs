@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cc_model::{ClusterModel, SimTime};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -129,6 +130,14 @@ pub(crate) struct Shared {
     /// First panic wins; later panics during teardown are ignored.
     abort: Mutex<Option<AbortInfo>>,
     states: Vec<RankState>,
+    /// Global mailbox-activity counter: bumped on every shared-mailbox
+    /// post and removal. The recv watchdog re-arms whenever it moves — a
+    /// busy world is never a deadlocked one, no matter how long a single
+    /// rank has been waiting in *real* time (the simulation runs in
+    /// virtual time, so a loaded host or a deeply pipelined engine can
+    /// legitimately leave one receive parked for a long real-time while
+    /// its peers churn through other ranks' traffic).
+    progress: AtomicU64,
 }
 
 impl Shared {
@@ -139,7 +148,20 @@ impl Shared {
             aborted: AtomicBool::new(false),
             abort: Mutex::new(None),
             states: (0..nprocs).map(|_| RankState::default()).collect(),
+            progress: AtomicU64::new(0),
         })
+    }
+
+    /// Records one unit of global mailbox activity (a post or a removal).
+    /// Relaxed suffices: the counter is a liveness heuristic, not a
+    /// synchronization point.
+    fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value of the global activity counter.
+    fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
     }
 
     /// Whether the run is aborting. Safe to call while holding a mailbox
@@ -376,6 +398,7 @@ impl Comm {
         let mailbox = &self.shared.mailboxes[dst];
         lock_unpoisoned(&mailbox.queue).push_back(env);
         mailbox.arrived.notify_all();
+        self.shared.note_progress();
         arrival
     }
 
@@ -408,9 +431,15 @@ impl Comm {
     /// Blocked receives are supervised: if any rank panics, the supervisor
     /// sets the world's abort flag and wakes every mailbox condvar, and
     /// this call unwinds immediately (quietly — the originating rank's
-    /// panic is the one `World::run` reports). A receive blocked longer
-    /// than the model's `recv_watchdog` in *real* time panics with a
-    /// per-rank diagnostic snapshot instead.
+    /// panic is the one `World::run` reports). The deadlock watchdog is
+    /// quiet-window based: the simulation runs in virtual time, so a
+    /// receive can legitimately stay parked for a long *real* time while
+    /// its peers churn through other traffic (deep pipelining, loaded CI
+    /// hosts). The watchdog therefore re-arms on any global mailbox
+    /// progress — and only panics, with a per-rank diagnostic snapshot,
+    /// after the whole world has been silent for a full `recv_watchdog`
+    /// window. The deadline is absolute, so spurious condvar wakeups near
+    /// the deadline never double-count elapsed time.
     pub fn recv_bytes_no_clock(
         &mut self,
         src: impl Into<Source>,
@@ -426,6 +455,8 @@ impl Comm {
         let watchdog = self.shared.model.recv_watchdog;
         let mailbox = &self.shared.mailboxes[self.rank];
         let mut queue = lock_unpoisoned(&mailbox.queue);
+        let mut seen = self.shared.progress();
+        let mut deadline = Instant::now() + watchdog;
         loop {
             if self.shared.is_aborted() {
                 drop(queue);
@@ -435,6 +466,8 @@ impl Comm {
             }
             if let Some(pos) = queue.iter().position(|e| e.matches(src, tag)) {
                 let env = queue.remove(pos).expect("position is in range");
+                drop(queue);
+                self.shared.note_progress();
                 self.stats.msgs_recv += 1;
                 self.stats.bytes_recv += env.payload.len();
                 let info = RecvInfo {
@@ -444,21 +477,32 @@ impl Comm {
                 };
                 return (env.payload, info);
             }
-            let (guard, timeout) = mailbox
+            let now = Instant::now();
+            if now >= deadline {
+                let current = self.shared.progress();
+                if current != seen {
+                    // The world moved while we slept: re-arm and demand a
+                    // full quiet window before declaring a deadlock.
+                    seen = current;
+                    deadline = now + watchdog;
+                } else if !self.shared.is_aborted() {
+                    let pending = queue.len();
+                    drop(queue);
+                    panic!(
+                        "rank {} deadlocked waiting for src={src:?} tag={tag:#x} \
+                         ({pending} messages pending, none match; no mailbox \
+                         progress anywhere for {watchdog:?})\n{}",
+                        self.rank,
+                        self.shared.diagnostic(),
+                    );
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (guard, _timeout) = mailbox
                 .arrived
-                .wait_timeout(queue, watchdog)
+                .wait_timeout(queue, remaining)
                 .unwrap_or_else(PoisonError::into_inner);
             queue = guard;
-            if timeout.timed_out() && !self.shared.is_aborted() {
-                let pending = queue.len();
-                drop(queue);
-                panic!(
-                    "rank {} deadlocked waiting for src={src:?} tag={tag:#x} \
-                     ({pending} messages pending, none match)\n{}",
-                    self.rank,
-                    self.shared.diagnostic(),
-                );
-            }
         }
     }
 
@@ -479,6 +523,7 @@ impl Comm {
         let pos = queue.iter().position(|e| e.matches(src, tag))?;
         let env = queue.remove(pos).expect("position is in range");
         drop(queue);
+        self.shared.note_progress();
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += env.payload.len();
         self.set_clock(self.clock.max(env.arrival));
@@ -757,5 +802,72 @@ mod tests {
                 comm.send(5, 0, &[0u8]);
             }
         });
+    }
+
+    #[test]
+    fn watchdog_rearms_on_global_progress() {
+        use std::time::Duration;
+        // Regression: the watchdog measures *real* wall-clock while the
+        // simulation runs in virtual time. Rank 0 blocks for several full
+        // watchdog windows while ranks 1 and 2 keep trafficking between
+        // themselves — progress that never touches rank 0's mailbox. The
+        // old per-wait timeout (re-armed only by deliveries to the waiting
+        // rank) declared a false deadlock here; the quiet-window watchdog
+        // must ride out the busy period and complete the receive.
+        let model =
+            ClusterModel::test_tiny(3).with_recv_watchdog(Duration::from_millis(150));
+        let results = World::new(3, model).run(|comm| match comm.rank() {
+            0 => comm.recv::<u32>(1, 1).0[0],
+            1 => {
+                // Stay busy well past several watchdog windows, then
+                // release rank 0.
+                for i in 0..10u32 {
+                    std::thread::sleep(Duration::from_millis(50));
+                    comm.send(2, 2, &[i]);
+                }
+                comm.send(0, 1, &[42u32]);
+                0
+            }
+            _ => {
+                for _ in 0..10 {
+                    let _ = comm.recv::<u32>(1, 2);
+                }
+                0
+            }
+        });
+        assert_eq!(results[0], 42);
+    }
+
+    #[test]
+    fn watchdog_still_catches_true_deadlock() {
+        use std::time::Duration;
+        // A genuinely silent world must still trip the watchdog after one
+        // full quiet window, with the diagnostic snapshot attached.
+        let model =
+            ClusterModel::test_tiny(2).with_recv_watchdog(Duration::from_millis(150));
+        let t0 = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            World::new(2, model).run(|comm| {
+                if comm.rank() == 0 {
+                    // Nobody ever sends tag 99.
+                    let _ = comm.recv::<u8>(1, 99);
+                }
+            })
+        }));
+        let payload = result.expect_err("silent world must trip the watchdog");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>");
+        assert!(
+            msg.contains("deadlocked waiting"),
+            "watchdog panic must describe the deadlock, got: {msg}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "watchdog must fire promptly, took {:?}",
+            t0.elapsed()
+        );
     }
 }

@@ -24,6 +24,59 @@ pub enum DomainPartition {
     GroupCyclic,
 }
 
+/// How many collective-buffer slots each aggregator cycles through — the
+/// depth of the software pipeline across collective-buffer iterations.
+///
+/// The engines stage every iteration through a buffer slot; with `d`
+/// slots, iteration `i`'s read may not begin until iteration `i - d` has
+/// fully drained its slot (shuffled, mapped, or written it out). Depth 1
+/// is therefore strictly sequential — read, drain, repeat, exactly the
+/// blocking two-phase protocol — and depth 2 is the classic double
+/// buffer: the read of `i + 1` overlaps the drain of `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineDepth {
+    /// One buffer: each iteration's read waits for the previous iteration
+    /// to drain. Bit-identical in timing to blocking mode.
+    Sequential,
+    /// A bounded ring of `n >= 2` buffers (2 = double buffering).
+    Depth(usize),
+    /// Unlimited staging buffers: reads are gated only by the I/O lane.
+    /// The historical engine behavior, and the default.
+    #[default]
+    Unbounded,
+}
+
+impl PipelineDepth {
+    /// The classic double buffer.
+    pub fn double() -> Self {
+        Self::Depth(2)
+    }
+
+    /// The ring size this depth imposes, or `None` for unbounded staging.
+    pub fn bound(&self) -> Option<usize> {
+        match self {
+            Self::Sequential => Some(1),
+            Self::Depth(n) => Some(*n),
+            Self::Unbounded => None,
+        }
+    }
+
+    /// Validates the invariant that a bounded ring holds at least two
+    /// buffers (one buffer *is* [`Sequential`](Self::Sequential)).
+    ///
+    /// # Panics
+    /// Panics on `Depth(0)` or `Depth(1)`.
+    pub fn validate(&self) {
+        if let Self::Depth(n) = self {
+            assert!(
+                *n >= 2,
+                "PipelineDepth::Depth needs at least two buffers (got {n}); \
+                 use PipelineDepth::Sequential for a single buffer"
+            );
+        }
+    }
+}
+
 /// File striping as carried by MPI-IO hints (ROMIO's `striping_unit` /
 /// `striping_factor` info keys). Engines inject this from the open file's
 /// layout before planning, so stripe-aware partition strategies — and the
@@ -77,6 +130,10 @@ pub struct Hints {
     /// Engines inject this from the open file's layout; stripe-aware
     /// strategies degrade gracefully when it is `None`.
     pub striping: Option<Striping>,
+    /// Software-pipeline depth across collective-buffer iterations (see
+    /// [`PipelineDepth`]). Only meaningful in non-blocking mode — blocking
+    /// mode is sequential by definition, whatever this says.
+    pub pipeline_depth: PipelineDepth,
 }
 
 impl Default for Hints {
@@ -88,6 +145,7 @@ impl Default for Hints {
             align_domains_to: None,
             domain_partition: DomainPartition::Even,
             striping: None,
+            pipeline_depth: PipelineDepth::Unbounded,
         }
     }
 }
@@ -110,6 +168,25 @@ impl Hints {
             assert!(s.unit > 0, "striping unit must be positive");
             assert!(s.factor > 0, "striping factor must be positive");
         }
+        self.pipeline_depth.validate();
+    }
+
+    /// The partition strategy the planner *actually* applies after its
+    /// fallback chain: stripe-aware strategies degrade to even splitting
+    /// without striping, and group-cyclic degrades to stripe-aligned-even
+    /// when the stripe size is not a multiple of the alignment (a
+    /// group-cyclic chunk would split an alignment unit). Mirrors
+    /// `CollectivePlan::domains_for` and must stay in lockstep with it —
+    /// the plan cache's translation gate keys off the effective strategy.
+    pub fn effective_partition(&self) -> DomainPartition {
+        let align = self.align_domains_to.unwrap_or(1);
+        match (self.domain_partition, self.striping) {
+            (_, None) => DomainPartition::Even,
+            (DomainPartition::GroupCyclic, Some(s)) if s.unit % align != 0 => {
+                DomainPartition::StripeAligned
+            }
+            (p, Some(_)) => p,
+        }
     }
 
     /// The period under which the partition is translation-equivariant:
@@ -118,9 +195,16 @@ impl Hints {
     /// a schedule for a translated request set. Even domains repeat at the
     /// alignment; stripe-aligned at `lcm(align, stripe)`; group-cyclic at
     /// `lcm(align, stripe_count × stripe)` (the full round-robin period).
+    /// Computed from the [*effective*](Self::effective_partition) strategy:
+    /// when group-cyclic falls back to stripe-aligned-even (stripe not a
+    /// multiple of the alignment, e.g. stripe 10 with alignment 4), the
+    /// partition repeats at `lcm(align, stripe)` already — gating on the
+    /// full round-robin period would reject translatable shifts, and
+    /// gating on a period the fallback does not honor would corrupt
+    /// translated schedules.
     pub fn translation_period(&self) -> u64 {
         let align = self.align_domains_to.unwrap_or(1);
-        match (self.domain_partition, self.striping) {
+        match (self.effective_partition(), self.striping) {
             (DomainPartition::Even, _) | (_, None) => align,
             (DomainPartition::StripeAligned, Some(s)) => lcm(align, s.unit),
             (DomainPartition::GroupCyclic, Some(s)) => lcm(align, s.period()),
@@ -175,16 +259,73 @@ mod tests {
         };
         assert_eq!(h(DomainPartition::Even, striped, Some(48)).translation_period(), 48);
         assert_eq!(h(DomainPartition::StripeAligned, None, Some(48)).translation_period(), 48);
-        // lcm(48, 64) = 192; lcm(48, 256) = 768.
+        // lcm(48, 64) = 192.
         assert_eq!(
             h(DomainPartition::StripeAligned, striped, Some(48)).translation_period(),
             192
         );
+        // Stripe 64 is not a multiple of alignment 48, so group-cyclic
+        // falls back to stripe-aligned-even: the effective period is
+        // lcm(48, 64) = 192, not the full round-robin lcm(48, 256) = 768.
         assert_eq!(
             h(DomainPartition::GroupCyclic, striped, Some(48)).translation_period(),
-            768
+            192
+        );
+        // Aligned stripe (64 % 16 == 0): genuine group-cyclic, full period.
+        assert_eq!(
+            h(DomainPartition::GroupCyclic, striped, Some(16)).translation_period(),
+            256
         );
         assert_eq!(h(DomainPartition::GroupCyclic, striped, None).translation_period(), 256);
+    }
+
+    #[test]
+    fn effective_partition_tracks_planner_fallbacks() {
+        let striped = Some(Striping { unit: 10, factor: 4 });
+        let h = |p, s, a| Hints {
+            domain_partition: p,
+            striping: s,
+            align_domains_to: a,
+            ..Hints::default()
+        };
+        // No striping: everything degrades to even.
+        for p in [
+            DomainPartition::Even,
+            DomainPartition::StripeAligned,
+            DomainPartition::GroupCyclic,
+        ] {
+            assert_eq!(h(p, None, Some(4)).effective_partition(), DomainPartition::Even);
+        }
+        // Stripe 10 with alignment 4 (the plan.rs fallback case): the
+        // planner degrades group-cyclic to stripe-aligned-even, and the
+        // translation period follows — lcm(4, 10) = 20, not lcm(4, 40).
+        let fallback = h(DomainPartition::GroupCyclic, striped, Some(4));
+        assert_eq!(fallback.effective_partition(), DomainPartition::StripeAligned);
+        assert_eq!(fallback.translation_period(), 20);
+        // Aligned stripe: group-cyclic stands, full round-robin period.
+        let aligned = h(DomainPartition::GroupCyclic, striped, Some(2));
+        assert_eq!(aligned.effective_partition(), DomainPartition::GroupCyclic);
+        assert_eq!(aligned.translation_period(), 40);
+    }
+
+    #[test]
+    fn pipeline_depth_bounds_and_validation() {
+        assert_eq!(PipelineDepth::Sequential.bound(), Some(1));
+        assert_eq!(PipelineDepth::double(), PipelineDepth::Depth(2));
+        assert_eq!(PipelineDepth::Depth(3).bound(), Some(3));
+        assert_eq!(PipelineDepth::Unbounded.bound(), None);
+        assert_eq!(PipelineDepth::default(), PipelineDepth::Unbounded);
+        Hints {
+            pipeline_depth: PipelineDepth::Depth(2),
+            ..Hints::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_buffer_depth_rejected() {
+        PipelineDepth::Depth(1).validate();
     }
 
     #[test]

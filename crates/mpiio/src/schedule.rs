@@ -1194,6 +1194,95 @@ mod tests {
         assert_eq!(o3, CacheOutcome::Miss);
     }
 
+    fn shift_by(reqs: &[OffsetList], delta: u64) -> Vec<OffsetList> {
+        reqs.iter()
+            .map(|r| {
+                OffsetList::new(
+                    r.extents()
+                        .iter()
+                        .map(|e| Extent {
+                            offset: e.offset + delta,
+                            len: e.len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Shifts `reqs` by `delta` against a warmed cache and checks both the
+    /// expected outcome and that whatever came back — translated or
+    /// recompiled — matches a fresh compile exactly.
+    fn check_shift(h: &Hints, delta: u64, expect: CacheOutcome) {
+        let topo = Topology::new(1, 4);
+        let base = interleaved(4, 10, 8);
+        let mut cache = PlanCache::new();
+        let (_, o1) = cache.get_or_compile_traced(base.clone(), &topo, 4, h);
+        assert_eq!(o1, CacheOutcome::Miss);
+        let shifted = shift_by(&base, delta);
+        let (sched, o2) = cache.get_or_compile_traced(shifted.clone(), &topo, 4, h);
+        assert_eq!(o2, expect, "shift {delta} under {:?}", h.effective_partition());
+        let fresh_plan = CollectivePlan::build(shifted, &topo, 4, h);
+        let fresh = PlanSchedule::compile(fresh_plan.clone());
+        assert_eq!(sched.plan.domains, fresh.plan.domains);
+        assert_eq!(*sched.index, *fresh.index);
+        assert_eq!(*sched.geom, *fresh.geom);
+        assert_matches_oracle(&fresh_plan, &sched);
+    }
+
+    #[test]
+    fn cache_misses_on_non_period_shifts_for_every_strategy() {
+        // Regression: a shift that is not a multiple of the strategy's
+        // translation period must MISS — translating it would silently
+        // move domain boundaries off their stripe/alignment grid. One
+        // case per partition strategy, plus the translating counterpart
+        // to show the gate is exactly the period.
+        let aligned_even = Hints {
+            align_domains_to: Some(64),
+            ..hints(48)
+        };
+        check_shift(&aligned_even, 33, CacheOutcome::Miss);
+        check_shift(&aligned_even, 128, CacheOutcome::Translated);
+
+        let stripe_aligned = Hints {
+            domain_partition: DomainPartition::StripeAligned,
+            striping: Some(Striping { unit: 10, factor: 4 }),
+            align_domains_to: Some(4),
+            ..hints(48)
+        };
+        // Period lcm(4, 10) = 20: neither the stripe alone nor the
+        // alignment alone preserves the partition.
+        check_shift(&stripe_aligned, 10, CacheOutcome::Miss);
+        check_shift(&stripe_aligned, 4, CacheOutcome::Miss);
+        check_shift(&stripe_aligned, 20, CacheOutcome::Translated);
+
+        let cyclic = Hints {
+            align_domains_to: Some(4),
+            ..group_cyclic_hints(48, 8, 3) // genuine group-cyclic, period lcm(4, 24) = 24
+        };
+        check_shift(&cyclic, 12, CacheOutcome::Miss);
+        check_shift(&cyclic, 24, CacheOutcome::Translated);
+    }
+
+    #[test]
+    fn cache_gate_follows_planner_fallback_to_stripe_aligned() {
+        // The ISSUE's stripe-10/alignment-4 case: GroupCyclic is declared,
+        // but unit 10 is not a multiple of alignment 4, so the planner
+        // falls back to stripe-aligned-even partitioning. The gate must
+        // use the *effective* strategy's period — lcm(4, 10) = 20, not the
+        // group-cyclic lcm(4, unit * factor) — and must still miss on
+        // shifts that are no multiple of it.
+        let h = Hints {
+            align_domains_to: Some(4),
+            ..group_cyclic_hints(48, 10, 4)
+        };
+        assert_eq!(h.translation_period(), 20);
+        check_shift(&h, 10, CacheOutcome::Miss);
+        check_shift(&h, 14, CacheOutcome::Miss);
+        check_shift(&h, 20, CacheOutcome::Translated);
+        check_shift(&h, 60, CacheOutcome::Translated);
+    }
+
     prop_compose! {
         /// Random per-rank requests: some ranks empty, sparse holes.
         fn arb_requests(max_ranks: usize)(

@@ -5,15 +5,18 @@
 //! stripe-friendly reads. Phase 2 (shuffle): the aggregator scatters the
 //! pieces of the chunk to the ranks that requested them. In non-blocking
 //! mode (the default, and the configuration profiled in the paper's Fig. 1)
-//! the shuffle of iteration `i` overlaps the read of iteration `i+1` via
-//! double buffering; in blocking mode the two phases strictly alternate.
+//! the shuffle of iteration `i` overlaps the read of iteration `i+1`, with
+//! the [`crate::hints::PipelineDepth`] hint bounding how many staging
+//! buffers the software pipeline may keep in flight (depth 2 is the
+//! classic double buffer); in blocking mode the two phases strictly
+//! alternate.
 //!
 //! Real bytes flow: the returned buffer contains exactly the requested
 //! bytes in request order. Virtual time flows through two [`Lane`]s per
 //! aggregator (the paper's "I/O thread" and "shuffle thread" of Fig. 7)
 //! plus the OST queues inside [`Pfs`].
 
-use cc_model::{Lane, SimTime};
+use cc_model::{BufferRing, Lane, SimTime};
 use cc_mpi::comm::{TagValue, SEQ_MASK};
 use cc_mpi::{Comm, NodeView};
 use cc_pfs::{FileHandle, Pfs};
@@ -202,7 +205,7 @@ pub fn collective_read_cached(
     let mut done = agg_done;
     let cpu = comm.model().cpu.clone();
     let relay_tag = TAG_SHUFFLE_RELAY | (tag & SEQ_MASK);
-    for (a, _, pieces) in schedule.sources_with_pieces(comm.rank()) {
+    for (a, iter, pieces) in schedule.sources_with_pieces(comm.rank()) {
         let agg_rank = schedule.aggregator_rank(a);
         if agg_rank == comm.rank() {
             continue; // own pieces were placed locally by the aggregator loop
@@ -221,7 +224,13 @@ pub fn collective_read_cached(
                 .copy_from_slice(&payload[cursor..cursor + len]);
             cursor += len;
         }
-        assert_eq!(cursor, payload.len(), "shuffle payload length mismatch");
+        assert_eq!(
+            cursor,
+            payload.len(),
+            "rank {}: shuffle payload length mismatch from rank {src} \
+             (aggregator {a}, iteration {iter}, tag {src_tag:#x})",
+            comm.rank(),
+        );
         let unpacked = info.arrival + cpu.memcpy_time(payload.len());
         comm.recycle_buf(payload);
         done = done.max(unpacked);
@@ -255,43 +264,83 @@ fn run_aggregator(
     let cpu = comm.model().cpu.clone();
     let start = comm.clock();
     // Non-blocking mode: independent read and shuffle lanes overlap the
-    // phases. Blocking mode: a single lane serializes them. Reads are
-    // gated only by the I/O lane — the engine is assumed to have enough
+    // phases, and the `PipelineDepth` hint bounds how many iterations'
+    // staging buffers may be in flight at once. Unbounded depth gates
+    // reads only by the I/O lane (the engine is assumed to have enough
     // staging buffers to keep the disk streaming, which also keeps all
-    // ranks' file-system requests causally close in virtual time.
+    // ranks' file-system requests causally close in virtual time);
+    // bounded depth stages through a [`BufferRing`], so the read of
+    // iteration `i` waits for iteration `i - depth` to finish draining
+    // its slot. Blocking mode is depth 1: one slot, strictly alternating
+    // phases — the ring recurrence degenerates to the single-lane
+    // schedule (the next read starts at the previous shuffle's end).
     let mut io_lane = Lane::free_from(start);
     let mut shuffle_lane = Lane::free_from(start);
-    let single_lane = !hints.nonblocking;
+    let depth = if hints.nonblocking {
+        hints.pipeline_depth.bound()
+    } else {
+        Some(1)
+    };
+    let mut ring = depth.map(BufferRing::new);
+    let iters = schedule.active_iterations(agg_idx);
+    // One staging slot per in-flight iteration — reads land in place, and
+    // a slot is reissued only after its previous occupant drained.
+    let nslots = depth.unwrap_or(1).min(iters.len()).max(1);
+    let mut slots: Vec<Vec<u8>> = (0..nslots).map(|_| Vec::new()).collect();
+    // Per-iteration read bookkeeping (`(rlo, ready, read_done, queue)`),
+    // filled at issue time and consumed at drain time — the two walk the
+    // iteration list `depth` apart.
+    let mut reads: Vec<Option<(u64, SimTime, SimTime, SimTime)>> = vec![None; iters.len()];
+    let mut issued = 0usize;
     let mut last = start;
-    // One staging buffer reused across iterations — reads land in place.
-    let mut chunk = Vec::new();
 
-    for &iter in schedule.active_iterations(agg_idx) {
-        let ranges = schedule.read_ranges(agg_idx, iter);
-        let Some(&(rlo, _)) = ranges.first() else {
+    for (pos, &iter) in iters.iter().enumerate() {
+        // Issue stage: read ahead up to `depth` iterations before draining
+        // iteration `pos`, so the OST extents of iteration pos+1 are booked
+        // (and its receives effectively pre-posted — destinations are known
+        // from the compiled schedule) while pos is still packing.
+        let horizon = match depth {
+            Some(d) => iters.len().min(pos + d),
+            None => pos + 1,
+        };
+        while issued < horizon {
+            let j = issued;
+            issued += 1;
+            let ranges = schedule.read_ranges(agg_idx, iters[j]);
+            let Some(&(rlo, _)) = ranges.first() else {
+                continue;
+            };
+            // Phase 1: read all of the iteration's covering extents (one
+            // per covered block) in a single vectorized call — one booking
+            // lock per OST, object-contiguous runs across blocks charged
+            // one seek. A single covering range times identically to
+            // `read_at`.
+            let floor = ring.as_ref().map_or(SimTime::ZERO, |r| r.available(j));
+            let ready = io_lane.free_at().max(floor);
+            let read_done = pfs.read_multi(file, rlo, ranges, ready, &mut slots[j % nslots]);
+            io_lane.advance_to(read_done);
+            report.bytes_read += ranges.iter().map(|&(_, len)| len).sum::<u64>();
+            let read_dur = read_done.saturating_since(ready);
+            let ideal: SimTime = ranges
+                .iter()
+                .map(|&(lo, len)| pfs.ideal_read_time(file, lo, len))
+                .sum();
+            report
+                .segments
+                .push(Segment::new(ready, read_done, Activity::Wait));
+            reads[j] = Some((rlo, ready, read_done, read_dur.saturating_since(ideal)));
+        }
+        let Some((rlo, ready, read_done, queue_dur)) = reads[pos] else {
+            // Nothing was read for this iteration, so nothing occupies its
+            // slot: carry the previous occupant's drain time forward.
+            if let Some(r) = ring.as_mut() {
+                let t = r.available(pos);
+                r.drain(pos, t);
+            }
             continue;
         };
-        // Phase 1: read all of the iteration's covering extents (one per
-        // covered block) in a single vectorized call — one booking lock
-        // per OST, object-contiguous runs across blocks charged one seek.
-        // A single covering range times identically to `read_at`.
-        let ready = io_lane.free_at();
-        let read_done = pfs.read_multi(file, rlo, ranges, ready, &mut chunk);
-        io_lane.advance_to(read_done);
-        if single_lane {
-            shuffle_lane.advance_to(read_done);
-        }
-        let read_bytes: u64 = ranges.iter().map(|&(_, len)| len).sum();
-        report.bytes_read += read_bytes;
+        let chunk = &slots[pos % nslots];
         let read_dur = read_done.saturating_since(ready);
-        let ideal: SimTime = ranges
-            .iter()
-            .map(|&(lo, len)| pfs.ideal_read_time(file, lo, len))
-            .sum();
-        let queue_dur = read_dur.saturating_since(ideal);
-        report
-            .segments
-            .push(Segment::new(ready, read_done, Activity::Wait));
 
         // Phase 2: pack and post pieces per destination. With hierarchical
         // paths active, only same-node destinations are served directly;
@@ -380,8 +429,9 @@ fn run_aggregator(
                 shuffle_end = shuffle_end.max(depart);
             }
         }
-        if single_lane {
-            io_lane.advance_to(shuffle_end);
+        // The slot is reusable once the last piece was packed out of it.
+        if let Some(r) = ring.as_mut() {
+            r.drain(pos, shuffle_end);
         }
         report
             .segments
@@ -458,7 +508,13 @@ fn relay_read_frames(
                 comm.post_bytes_at(dst, relay_tag, payload, depart);
                 last = last.max(depart);
             }
-            assert_eq!(pos, frame.len(), "shuffle frame length mismatch");
+            assert_eq!(
+                pos,
+                frame.len(),
+                "rank {}: shuffle frame length mismatch from rank {agg_rank} \
+                 (aggregator {a}, iteration {iter}, tag {frame_tag:#x})",
+                comm.rank(),
+            );
             comm.recycle_buf(frame);
         }
     }

@@ -9,7 +9,7 @@
 //! because requests never overlap within one offset list and overlapping
 //! writes *across* ranks are application bugs MPI-IO leaves undefined.
 
-use cc_model::{Lane, SimTime};
+use cc_model::{BufferRing, Lane, SimTime};
 use cc_mpi::comm::{TagValue, SEQ_MASK};
 use cc_mpi::{Comm, NodeView};
 use cc_pfs::{FileHandle, Pfs};
@@ -92,7 +92,8 @@ pub fn collective_write_cached(
     assert_eq!(
         data.len() as u64,
         my_request.total_bytes(),
-        "write buffer does not match the request size"
+        "rank {}: write buffer does not match the request size",
+        comm.rank(),
     );
     // Inject striping from the shared file handle (symmetric across
     // ranks), mirroring the read engine: stripe-aware strategies and the
@@ -245,7 +246,13 @@ fn coalesce_write_frames(
             {
                 let len: usize = pieces.iter().map(|p| p.extent.len as usize).sum();
                 let (payload, info) = comm.recv_bytes_no_clock(src, up_tag);
-                assert_eq!(payload.len(), len, "write up-message length mismatch");
+                assert_eq!(
+                    payload.len(),
+                    len,
+                    "rank {}: write up-message length mismatch from rank {src} \
+                     (aggregator {a}, iteration {iter}, tag {up_tag:#x})",
+                    comm.rank(),
+                );
                 arrival = arrival.max(info.arrival);
                 frame.extend_from_slice(&payload);
                 comm.recycle_buf(payload);
@@ -288,18 +295,33 @@ fn run_write_aggregator(
     let cpu = comm.model().cpu.clone();
     let mut recv_done = comm.clock();
     let mut io_lane = Lane::free_from(comm.clock());
-    let single_lane = !hints.nonblocking;
+    // Mirror of the read engine's staging discipline: bounded
+    // `PipelineDepth` rotates through that many assembly slots, so
+    // iteration `i`'s receives are floored at the write that frees slot
+    // `i - depth`; unbounded depth lets receives overlap writes freely
+    // (the engine's historical non-blocking behavior); blocking mode is
+    // depth 1 — the next chunk's receives cannot overlap the write.
+    let depth = if hints.nonblocking {
+        hints.pipeline_depth.bound()
+    } else {
+        Some(1)
+    };
+    let mut ring = depth.map(BufferRing::new);
+    let iters = schedule.active_iterations(agg_idx);
+    let nslots = depth.unwrap_or(1).min(iters.len()).max(1);
+    // Assembly slots reused (re-zeroed) round-robin across iterations.
+    let mut slots: Vec<Vec<u8>> = (0..nslots).map(|_| Vec::new()).collect();
     let mut last = comm.clock();
-    // One assembly buffer reused (re-zeroed) across iterations.
-    let mut chunk = Vec::new();
 
     let frame_tag = TAG_WRITE_FRAME | (tag & SEQ_MASK);
-    for &iter in schedule.active_iterations(agg_idx) {
+    for (pos, &iter) in iters.iter().enumerate() {
         let (clo, chi) = schedule.chunk(agg_idx, iter);
+        let chunk = &mut slots[pos % nslots];
         chunk.clear();
         chunk.resize((chi - clo) as usize, 0);
         let mut extents: Vec<Extent> = Vec::new();
-        let mut arrival = recv_done;
+        let floor = ring.as_ref().map_or(SimTime::ZERO, |r| r.available(pos));
+        let mut arrival = recv_done.max(floor);
         // Pending coalesced frame from one remote node's leader: sources
         // ascend, so each node's contributors form one contiguous run and
         // the frame is drained exactly once, then flushed on the node
@@ -309,8 +331,14 @@ fn run_write_aggregator(
             if let Some(view) = hier.filter(|v| v.node_of(src) != v.node) {
                 let src_node = view.node_of(src);
                 if frame.as_ref().map(|f| f.0) != Some(src_node) {
-                    if let Some((_, cursor, bytes)) = frame.take() {
-                        assert_eq!(cursor, bytes.len(), "write frame length mismatch");
+                    if let Some((node, cursor, bytes)) = frame.take() {
+                        assert_eq!(
+                            cursor,
+                            bytes.len(),
+                            "rank {}: write frame length mismatch from node {node} \
+                             (aggregator {agg_idx}, iteration {iter}, tag {frame_tag:#x})",
+                            comm.rank(),
+                        );
                         comm.recycle_buf(bytes);
                     }
                     let (bytes, info) =
@@ -355,11 +383,23 @@ fn run_write_aggregator(
                 cursor += len;
                 extents.push(p.extent);
             }
-            assert_eq!(cursor, payload.len(), "write payload length mismatch");
+            assert_eq!(
+                cursor,
+                payload.len(),
+                "rank {}: write payload length mismatch from rank {src} \
+                 (aggregator {agg_idx}, iteration {iter}, tag {tag:#x})",
+                comm.rank(),
+            );
             comm.recycle_buf(payload);
         }
-        if let Some((_, cursor, bytes)) = frame.take() {
-            assert_eq!(cursor, bytes.len(), "write frame length mismatch");
+        if let Some((node, cursor, bytes)) = frame.take() {
+            assert_eq!(
+                cursor,
+                bytes.len(),
+                "rank {}: write frame length mismatch from node {node} \
+                 (aggregator {agg_idx}, iteration {iter}, tag {frame_tag:#x})",
+                comm.rank(),
+            );
             comm.recycle_buf(bytes);
         }
         recv_done = arrival;
@@ -374,14 +414,14 @@ fn run_write_aggregator(
         if merged.total_bytes() > 0 {
             let ranges: Vec<(u64, u64)> =
                 merged.extents().iter().map(|e| (e.offset, e.len)).collect();
-            write_done = pfs.write_multi(file, clo, &chunk, &ranges, ready);
+            write_done = pfs.write_multi(file, clo, chunk, &ranges, ready);
             report.bytes_written += merged.total_bytes();
             report.writes_issued += 1;
         }
         io_lane.advance_to(write_done);
-        if single_lane {
-            // Blocking mode: the next chunk's receives cannot overlap.
-            recv_done = recv_done.max(write_done);
+        // The slot is free for iteration pos + depth once its write lands.
+        if let Some(r) = ring.as_mut() {
+            r.drain(pos, write_done);
         }
         report
             .segments

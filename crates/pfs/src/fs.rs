@@ -210,6 +210,14 @@ impl Pfs {
     /// *all* ranges per OST, merges object-contiguous runs, and books each
     /// OST once under a single lock — one seek charged per merged run, not
     /// per extent. Returns the completion time (`now` if nothing to read).
+    ///
+    /// Safe under software pipelining: the engines issue the read for
+    /// iteration `i + depth` while iteration `i` is still draining, so
+    /// calls arrive with `now` values that are neither monotone per rank
+    /// nor ordered across ranks. Backfill booking (see `cc-pfs::ost`)
+    /// makes that harmless — an early-issued deep-future read takes the
+    /// earliest free interval at or after its own `now`, never capacity a
+    /// lagging iteration still needs.
     pub fn read_multi(
         &self,
         file: &FileHandle,

@@ -19,11 +19,11 @@ use cc_core::{
     ObjectIo, SumKernel,
 };
 use cc_integration::{build_var_fs, oracle_min_loc, oracle_sum, test_model, test_value};
-use cc_model::{CollectiveMode, DiskModel, SimTime};
+use cc_model::{CollectiveMode, DiskModel, FaultPlan, SimTime};
 use cc_mpi::World;
 use cc_mpiio::{
     collective_read, collective_read_cached, collective_write, collective_write_cached,
-    DomainPartition, Extent, Hints, OffsetList, PlanCache,
+    DomainPartition, Extent, Hints, OffsetList, PipelineDepth, PlanCache,
 };
 use cc_pfs::backend::ElemKind;
 use cc_pfs::{MemBackend, Pfs, StripeLayout, SyntheticBackend};
@@ -514,5 +514,286 @@ proptest! {
         // Sanity: oracle_min_loc agrees with the dedicated kernel's own
         // tests elsewhere; here it pins the fused component semantics.
         let _ = oracle_min_loc(&cfg.shape, &Hyperslab::whole(&cfg.shape));
+    }
+}
+
+/// A step's `(sum_global, fused_global)` pair — present on the rank that
+/// holds the reduction root.
+type KernelGlobals = (Option<Vec<f64>>, Option<Vec<f64>>);
+
+/// The staging-depth variants every engine must agree across: blocking
+/// mode, and nonblocking mode at ring depths 1 (sequential), 2 (double
+/// buffer), 3, and unbounded (the historical engine behavior).
+const DEPTHS: [(&str, bool, PipelineDepth); 5] = [
+    ("blocking", false, PipelineDepth::Unbounded),
+    ("sequential", true, PipelineDepth::Sequential),
+    ("depth-2", true, PipelineDepth::Depth(2)),
+    ("depth-3", true, PipelineDepth::Depth(3)),
+    ("unbounded", true, PipelineDepth::Unbounded),
+];
+
+fn with_depth(base: &Hints, nonblocking: bool, depth: PipelineDepth) -> Hints {
+    Hints {
+        nonblocking,
+        pipeline_depth: depth,
+        ..base.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Software pipelining reorders *when* staging buffers are filled,
+    /// never *what* they carry: on a random sweep, every staging depth —
+    /// under flat and hierarchical shuffles alike — must return the
+    /// bit-identical read buffers and land the bit-identical written file.
+    #[test]
+    fn prop_pipeline_depths_move_identical_bytes(sweep in arb_sweep()) {
+        let nprocs = sweep.nprocs();
+        let nodes = sweep.nodes + 1; // >= 2 nodes so hierarchy engages
+        let size = sweep.file_size() + nprocs as u64 * ReqSweep::REGION;
+        let value_at = |o: u64| (o.wrapping_mul(211) ^ (o >> 6)) as u8;
+        let mut baseline: Option<(Vec<Vec<u8>>, Vec<u8>)> = None;
+        for mode in [CollectiveMode::Flat, CollectiveMode::Hierarchical] {
+            for (label, nonblocking, depth) in DEPTHS {
+                let fs = Pfs::new(4, DiskModel::lustre_like());
+                fs.create(
+                    "t.nc",
+                    StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                    Box::new(MemBackend::from_bytes((0..size).map(value_at).collect())),
+                );
+                fs.create(
+                    "out.nc",
+                    StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                    Box::new(MemBackend::zeroed(size as usize)),
+                );
+                let fs = Arc::new(fs);
+                let model = test_model(nodes, nprocs.div_ceil(nodes)).with_collectives(mode);
+                let world = World::new(nprocs, model);
+                let per_rank = {
+                    let fs = &fs;
+                    let sweep_ref = &sweep;
+                    world.run(move |comm| {
+                        let file = fs.open("t.nc").expect("exists");
+                        let out = fs.open("out.nc").expect("exists");
+                        let hints = with_depth(&sweep_ref.hints(), nonblocking, depth);
+                        let mut got = Vec::new();
+                        for step in 0..sweep_ref.steps {
+                            let req = sweep_ref.request(comm.rank(), step);
+                            let (bytes, _) = collective_read(comm, fs, &file, &req, &hints);
+                            let wreq = sweep_ref.request_disjoint(comm.rank(), step);
+                            let data: Vec<u8> = wreq
+                                .extents()
+                                .iter()
+                                .flat_map(|e| (e.offset..e.end()).map(value_at))
+                                .collect();
+                            collective_write(comm, fs, &out, &wreq, &data, &hints);
+                            got.push(bytes);
+                        }
+                        got
+                    })
+                };
+                let reads: Vec<Vec<u8>> = per_rank.into_iter().flatten().collect();
+                let out = fs.open("out.nc").expect("exists");
+                let (file_bytes, _) = fs.read_at(&out, 0, size, SimTime::ZERO);
+                match &baseline {
+                    None => baseline = Some((reads, file_bytes)),
+                    Some((base_reads, base_file)) => {
+                        prop_assert_eq!(
+                            base_reads, &reads,
+                            "{} {:?} read bytes diverged from blocking flat", label, mode
+                        );
+                        prop_assert_eq!(
+                            base_file, &file_bytes,
+                            "{} {:?} written file diverged from blocking flat", label, mode
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cc engine drains its staging ring through the map kernel: at
+    /// every depth the kernel must see the iterations in the same order
+    /// with the same bytes, so globals are exactly equal — not merely
+    /// close — and still match the planner-free oracle.
+    #[test]
+    fn prop_cc_engine_depths_agree_exactly(cfg in arb_kernel_config()) {
+        let (fs, var) = build_var_fs(&cfg.shape, 512, 4, 8);
+        let band = cfg.shape.dims()[0] / 2;
+        let per = band / cfg.nprocs as u64;
+        let mut baseline: Option<Vec<KernelGlobals>> = None;
+        for (label, nonblocking, depth) in DEPTHS {
+            let world = World::new(cfg.nprocs, test_model(1, cfg.nprocs));
+            let fs = &fs;
+            let var = &var;
+            let cfg_ref = &cfg;
+            let results = world.run(move |comm| {
+                let file = fs.open("t.nc").expect("exists");
+                let fused = FusedKernel::new(vec![&SumKernel, &MinLocKernel]);
+                let mut per_step = Vec::new();
+                for step in 0..2u64 {
+                    let mut start = vec![0; cfg_ref.shape.rank()];
+                    let mut count = cfg_ref.shape.dims().to_vec();
+                    start[0] = step * band + comm.rank() as u64 * per;
+                    count[0] = per;
+                    let io = ObjectIo::new(start, count).hints(with_depth(
+                        &Hints {
+                            cb_buffer_size: cfg_ref.cb,
+                            ..Hints::default()
+                        },
+                        nonblocking,
+                        depth,
+                    ));
+                    let sum = object_get_vara(comm, fs, &file, var, &io, &SumKernel);
+                    let both = object_get_vara(comm, fs, &file, var, &io, &fused);
+                    per_step.push((sum.global, both.global));
+                }
+                per_step
+            });
+            let flat: Vec<_> = results.into_iter().flatten().collect();
+            match &baseline {
+                None => baseline = Some(flat),
+                Some(base) => prop_assert_eq!(
+                    base, &flat,
+                    "{} kernel globals diverged from blocking", label
+                ),
+            }
+        }
+        // The depth sweep agreed with itself; pin it to the oracle too.
+        let globals = baseline.expect("at least one depth ran");
+        for step in 0..2u64 {
+            let mut start = vec![0; cfg.shape.rank()];
+            let mut count = cfg.shape.dims().to_vec();
+            start[0] = step * band;
+            count[0] = band;
+            let slab = Hyperslab::new(start, count);
+            let expect = oracle_sum(&cfg.shape, &slab);
+            let got = globals
+                .iter()
+                .skip(step as usize)
+                .step_by(2)
+                .find_map(|(sum, _)| sum.as_ref())
+                .expect("some rank holds the global")[0];
+            prop_assert!(
+                (got - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                "step {} sum {} != oracle {}", step, got, expect
+            );
+        }
+    }
+}
+
+/// A deterministic single-aggregator read workload: one node, so exactly
+/// one rank books OST intervals and the virtual clock is reproducible
+/// across runs (multi-aggregator timing depends on wall-clock booking
+/// races, which backfill keeps *fair* but not *replayable*).
+fn single_aggregator_sweep(
+    nonblocking: bool,
+    depth: PipelineDepth,
+    plan: Option<FaultPlan>,
+) -> Vec<(Vec<u8>, SimTime, SimTime)> {
+    const NPROCS: usize = 4;
+    const PER_RANK: u64 = 8 << 10;
+    let size = NPROCS as u64 * PER_RANK;
+    let value_at = |o: u64| (o.wrapping_mul(151) ^ (o >> 7)) as u8;
+    let mut fs = Pfs::new(4, DiskModel::lustre_like());
+    if let Some(p) = &plan {
+        fs = fs.with_fault_plan(p);
+    }
+    fs.create(
+        "t.nc",
+        StripeLayout::round_robin(1 << 9, 4, 0, 4),
+        Box::new(MemBackend::from_bytes((0..size).map(value_at).collect())),
+    );
+    let fs = Arc::new(fs);
+    let mut model = test_model(1, NPROCS);
+    if let Some(p) = plan {
+        model = model.with_fault(p);
+    }
+    let world = World::new(NPROCS, model);
+    let fs = &fs;
+    world.run(move |comm| {
+        let file = fs.open("t.nc").expect("exists");
+        // 2 KiB collective buffer over a 32 KiB file: 16 pipelined
+        // iterations, so staging depth has room to matter.
+        let hints = with_depth(
+            &Hints {
+                cb_buffer_size: 2 << 10,
+                ..Hints::default()
+            },
+            nonblocking,
+            depth,
+        );
+        let req = OffsetList::contiguous(comm.rank() as u64 * PER_RANK, PER_RANK);
+        let (bytes, report) = collective_read(comm, fs, &file, &req, &hints);
+        (bytes, report.start, report.end)
+    })
+}
+
+/// Depth-1 equivalence, encoded as a test: a one-buffer nonblocking ring
+/// must reproduce blocking mode's virtual clock *exactly* — same start,
+/// same end, on every rank — because its only staging buffer cannot be
+/// refilled before the previous iteration's shuffle drains it.
+#[test]
+fn sequential_ring_matches_blocking_clock_exactly() {
+    let blocking = single_aggregator_sweep(false, PipelineDepth::Unbounded, None);
+    let sequential = single_aggregator_sweep(true, PipelineDepth::Sequential, None);
+    assert_eq!(blocking, sequential, "depth-1 ring diverged from blocking");
+}
+
+/// Double buffering overlaps iteration i+1's read with iteration i's
+/// shuffle, so on a read-dominated multi-iteration sweep the collective
+/// must finish strictly earlier than sequential staging — and relaxing
+/// the ring further (depth 3, unbounded) can only help, never hurt.
+#[test]
+fn deeper_staging_rings_monotonically_speed_up_reads() {
+    let end_at = |depth: PipelineDepth| {
+        let per_rank = single_aggregator_sweep(true, depth, None);
+        let end = per_rank.iter().map(|(_, _, e)| *e).max().expect("ranks");
+        let bytes: Vec<&Vec<u8>> = per_rank.iter().map(|(b, _, _)| b).collect();
+        (end, bytes.iter().map(|b| b.len()).sum::<usize>())
+    };
+    let (seq, n1) = end_at(PipelineDepth::Sequential);
+    let (two, n2) = end_at(PipelineDepth::Depth(2));
+    let (three, n3) = end_at(PipelineDepth::Depth(3));
+    let (unbounded, n4) = end_at(PipelineDepth::Unbounded);
+    assert_eq!(n1, n2);
+    assert_eq!(n1, n3);
+    assert_eq!(n1, n4);
+    assert!(
+        two < seq,
+        "double buffering must overlap read with shuffle: depth-2 {two} >= sequential {seq}"
+    );
+    assert!(three <= two, "depth-3 {three} regressed past depth-2 {two}");
+    assert!(
+        unbounded <= three,
+        "unbounded {unbounded} regressed past depth-3 {three}"
+    );
+}
+
+/// Fault sweep: under slow OSTs and straggler ranks, every staging depth
+/// must still move the identical bytes — adversity may stretch the
+/// virtual clock but can never reorder what lands in a buffer. The test
+/// completing at all is the no-hang half of the contract: a pipelined
+/// iteration stuck waiting on a fault would trip the recv watchdog and
+/// abort the world instead of deadlocking the suite.
+#[test]
+fn fault_plans_stretch_clocks_but_never_bytes_at_any_depth() {
+    let plans = [
+        FaultPlan::new().slow_ost(0, 8.0),
+        FaultPlan::new().straggle_rank(1, 5.0),
+        FaultPlan::new().slow_ost(1, 4.0).straggle_rank(0, 3.0),
+    ];
+    let healthy = single_aggregator_sweep(false, PipelineDepth::Unbounded, None);
+    let healthy_bytes: Vec<&Vec<u8>> = healthy.iter().map(|(b, _, _)| b).collect();
+    for plan in plans {
+        for (label, nonblocking, depth) in DEPTHS {
+            let run = single_aggregator_sweep(nonblocking, depth, Some(plan.clone()));
+            let bytes: Vec<&Vec<u8>> = run.iter().map(|(b, _, _)| b).collect();
+            assert_eq!(
+                healthy_bytes, bytes,
+                "{label} under {plan:?} returned different bytes"
+            );
+        }
     }
 }
