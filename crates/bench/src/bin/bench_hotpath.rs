@@ -120,6 +120,30 @@ fn main() {
         std::hint::black_box(walk_compiled(&sched));
     });
 
+    // Codec steady state: error-bounded encode + decode of one slot's
+    // worth of f64 field bytes through pooled scratch arenas (the same
+    // per-slot discipline `cc_core::Scratch::codec_slots` gives the
+    // engines) must perform zero heap allocations once warmed.
+    let mut codec_scratch = cc_core::Scratch::new();
+    codec_scratch.ensure_slots(2);
+    let field: Vec<u8> = (0..cfg.runs * cfg.run_elems)
+        .flat_map(|i| (300.0 + 40.0 * (i as f64 * 1e-3).sin()).to_le_bytes())
+        .collect();
+    let mode = cc_mpiio::Compression::ErrorBounded(cc_mpiio::ErrorBound::absolute(1e-6));
+    let codec_pass = |s: &mut cc_core::Scratch| {
+        let (wire, rest) = s.codec_slots.split_at_mut(1);
+        cc_compress::encode_into(&mode, &field, &mut wire[0]);
+        let n = cc_compress::decode_into(&wire[0], &mut rest[0]);
+        assert_eq!(n, field.len(), "codec roundtrip length");
+    };
+    codec_pass(&mut codec_scratch); // warm the arenas to high water
+    let codec_allocs = allocs_during(|| codec_pass(&mut codec_scratch));
+    let codec_secs = time(&mut || codec_pass(&mut codec_scratch));
+    assert_eq!(
+        codec_allocs, 0,
+        "warmed codec pass must not touch the allocator"
+    );
+
     let elems = cfg.total_elems() as f64;
     let before_eps = elems / before_secs;
     let after_eps = elems / after_secs;
@@ -128,7 +152,7 @@ fn main() {
     let plan_share_after = plan_after_secs / (plan_after_secs + after_secs);
 
     let json = format!(
-        "{{\n  \"bench\": \"generate_decode_map\",\n  \"runs\": {},\n  \"run_elems\": {},\n  \"elements_per_pass\": {},\n  \"before\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"after\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"speedup\": {:.2},\n  \"planner\": {{\n    \"nprocs\": {},\n    \"before\": {{ \"secs_per_pass\": {:.6e}, \"share_of_pass\": {:.4} }},\n    \"after\": {{ \"secs_per_pass\": {:.6e}, \"share_of_pass\": {:.4} }},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"generate_decode_map\",\n  \"runs\": {},\n  \"run_elems\": {},\n  \"elements_per_pass\": {},\n  \"before\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"after\": {{ \"secs_per_pass\": {:.6e}, \"elements_per_sec\": {:.4e}, \"allocs_per_pass\": {} }},\n  \"speedup\": {:.2},\n  \"planner\": {{\n    \"nprocs\": {},\n    \"before\": {{ \"secs_per_pass\": {:.6e}, \"share_of_pass\": {:.4} }},\n    \"after\": {{ \"secs_per_pass\": {:.6e}, \"share_of_pass\": {:.4} }},\n    \"speedup\": {:.2}\n  }},\n  \"codec\": {{ \"bytes_per_pass\": {}, \"secs_per_pass\": {:.6e}, \"allocs_per_pass\": {} }}\n}}\n",
         cfg.runs,
         cfg.run_elems,
         cfg.total_elems(),
@@ -145,11 +169,14 @@ fn main() {
         plan_after_secs,
         plan_share_after,
         plan_before_secs / plan_after_secs,
+        field.len(),
+        codec_secs,
+        codec_allocs,
     );
     print!("{json}");
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     eprintln!(
-        "speedup {speedup:.2}x, steady-state allocs/pass: before {before_allocs}, after {after_allocs}"
+        "speedup {speedup:.2}x, steady-state allocs/pass: before {before_allocs}, after {after_allocs}, codec {codec_allocs}"
     );
     eprintln!(
         "planner share of pass: before {:.1}%, after {:.1}% ({:.2}x planner speedup)",

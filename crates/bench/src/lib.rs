@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod comm;
+pub mod compress;
 pub mod figs;
 pub mod hotpath;
 pub mod layout;

@@ -155,8 +155,13 @@ fn run_blocking(
     kernel: &dyn MapKernel,
 ) -> CcOutcome {
     let root = io.reduce.root();
+    // The traditional path shuffles *raw field bytes*, so an exact kernel
+    // (min/max/located selection) must not see lossily-perturbed values:
+    // clamp error-bounded hints to lossless before the read.
+    let mut hints = io.hints.clone();
+    hints.compression = hints.compression.clamp_for(kernel.tolerance());
     let (global, mine, rep) =
-        traditional_get_vara_partial(comm, pfs, file, var, slab, &io.hints, kernel, root);
+        traditional_get_vara_partial(comm, pfs, file, var, slab, &hints, kernel, root);
     CcOutcome {
         my_result: Some(kernel.finalize(&mine)),
         global: global.as_ref().map(|p| kernel.finalize(p)),
@@ -233,6 +238,12 @@ fn run_collective_computing(
     // Element-aligned planning: chunk and domain boundaries must never
     // split an element, or the logical map could not reconstruct it.
     let mut hints = io.hints.clone();
+    // Error bounds are a kernel property: only kernels declaring bounded-
+    // error tolerance may consume lossily-compressed field bytes; exact
+    // (selection) kernels are clamped to lossless framing. The clamped
+    // value also keys the plan cache, so the two classes never share a
+    // compiled schedule.
+    hints.compression = hints.compression.clamp_for(kernel.tolerance());
     hints.cb_buffer_size = round_up(hints.cb_buffer_size.max(esize), esize);
     hints.align_domains_to = Some(match hints.align_domains_to {
         Some(a) => lcm(a.max(1), esize),

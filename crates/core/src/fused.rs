@@ -138,6 +138,21 @@ impl MapKernel for FusedKernel<'_> {
         // The flat concatenation of every component's finalized output.
         self.finalize_each(acc).concat()
     }
+
+    fn tolerance(&self) -> cc_compress::Tolerance {
+        // A fused sweep is only as tolerant as its strictest component:
+        // one exact kernel (a located min, say) forces lossless framing
+        // for the whole shared read.
+        if self
+            .components
+            .iter()
+            .all(|k| k.tolerance() == cc_compress::Tolerance::BoundedError)
+        {
+            cc_compress::Tolerance::BoundedError
+        } else {
+            cc_compress::Tolerance::Exact
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! returned for trend analyses (e.g. storm intensity over time).
 
 use cc_array::Variable;
-use cc_mpi::Comm;
+use cc_mpi::{Comm, CommStats};
 use cc_mpiio::{PlanCache, PlanCacheStats};
 use cc_pfs::{FileHandle, OstBalance, Pfs};
 
@@ -32,6 +32,12 @@ pub struct IterativeOutcome {
     /// (busiest/mean busy-seconds): how evenly the chosen domain-partition
     /// strategy spread the sweep's reads over the OSTs.
     pub ost_balance: OstBalance,
+    /// This rank's communication counters over the sweep alone (a delta
+    /// against the communicator's state at entry). The per-lane
+    /// `logical_*` vs `bytes_*` gap is exactly the compression saving:
+    /// with `Hints::compression` off they are equal; with a codec on, the
+    /// inter-node lane's wire bytes fall below its logical bytes.
+    pub comm: CommStats,
 }
 
 /// Runs `kernel` over a sequence of `(variable, selection)` steps and
@@ -46,6 +52,7 @@ pub fn iterative_get_vara(
     kernel: &dyn MapKernel,
 ) -> IterativeOutcome {
     assert!(!steps.is_empty(), "iterative sweep needs at least one step");
+    let comm_since = comm.stats();
     let mut outcomes = Vec::with_capacity(steps.len());
     let mut folded: Option<Partial> = None;
     let mut per_step: Vec<Vec<f64>> = Vec::new();
@@ -94,6 +101,7 @@ pub fn iterative_get_vara(
         steps: outcomes,
         plan_cache: plans.stats(),
         ost_balance: pfs.ost_balance(),
+        comm: comm.stats().delta(&comm_since),
     }
 }
 
@@ -161,6 +169,13 @@ mod tests {
         assert_eq!(bal.osts, 4);
         assert!(bal.imbalance >= 1.0 - 1e-12, "imbalance {}", bal.imbalance);
         assert!(bal.busiest_secs > 0.0);
+        // And this rank's comm counters for the sweep alone. Compression
+        // is off here, so every lane's logical bytes equal its wire bytes.
+        let comm = &results[0].comm;
+        assert!(comm.msgs_sent > 0, "sweep moved no messages");
+        assert_eq!(comm.logical_intra, comm.bytes_intra);
+        assert_eq!(comm.logical_inter, comm.bytes_inter);
+        assert_eq!(comm.logical_self, comm.bytes_self);
     }
 
     #[test]

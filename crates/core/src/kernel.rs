@@ -9,6 +9,7 @@
 //! first value, so positional analyses (the WRF "where is the pressure
 //! minimum" task) work even though the data arrives as anonymous runs.
 
+use cc_compress::Tolerance;
 use cc_mpi::ops::ReduceOp;
 
 /// A small, fixed-shape accumulator: a handful of values plus an element
@@ -87,6 +88,18 @@ pub trait MapKernel: Send + Sync {
 
     /// Produces the user-visible result.
     fn finalize(&self, acc: &Partial) -> Vec<f64>;
+
+    /// How this kernel tolerates error-bounded lossy compression of the
+    /// field bytes it consumes. Defaults to [`Tolerance::Exact`] — the
+    /// safe class: selection kernels (min/max and their located variants)
+    /// can return the *wrong winner or index* if a near-tie is perturbed
+    /// within the bound, so the engine clamps `ErrorBounded` hints to
+    /// lossless for them. Smooth accumulations (sum, mean, moments) opt
+    /// in to [`Tolerance::BoundedError`]: a per-element error `<= eb`
+    /// moves an n-element sum by at most `n * eb`.
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::Exact
+    }
 }
 
 /// Sum of all elements.
@@ -113,6 +126,10 @@ impl MapKernel for SumKernel {
 
     fn finalize(&self, acc: &Partial) -> Vec<f64> {
         vec![acc.values[0]]
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::BoundedError
     }
 }
 
@@ -216,6 +233,10 @@ impl MapKernel for MeanKernel {
             vec![acc.values[0] / acc.count as f64]
         }
     }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::BoundedError
+    }
 }
 
 /// Element count (useful for coverage checks and selectivity studies).
@@ -240,6 +261,10 @@ impl MapKernel for CountKernel {
 
     fn finalize(&self, acc: &Partial) -> Vec<f64> {
         vec![acc.count as f64]
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::BoundedError
     }
 }
 
@@ -376,6 +401,10 @@ impl MapKernel for SumSqKernel {
         let n = acc.count as f64;
         let mean = acc.values[0] / n;
         vec![mean, acc.values[1] / n - mean * mean]
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        Tolerance::BoundedError
     }
 }
 

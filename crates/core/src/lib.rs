@@ -39,6 +39,7 @@ pub use iterative::{iterative_get_vara, IterativeOutcome};
 pub use engine::{object_get_vara, object_get_vara_cached, CcOutcome, CcReport};
 pub use fused::FusedKernel;
 pub use intermediate::IntermediateSet;
+pub use cc_compress::Tolerance;
 pub use kernel::{
     CountKernel, MapKernel, MaxKernel, MaxLocKernel, MeanKernel, MinKernel, MinLocKernel,
     Partial, SumKernel, SumSqKernel,

@@ -24,6 +24,12 @@ pub struct CpuModel {
     /// Cost of creating/indexing one intermediate-result metadata entry
     /// (seconds/entry).
     pub metadata_cost_per_entry: f64,
+    /// Cost of pushing one element through the error-bounded frame codec
+    /// on the encode side — predict, quantize, verify, emit (seconds per
+    /// element, where an element is one predictor step: an f64/f32 value
+    /// or a u64 word in lossless mode). Decoding replays only the
+    /// reconstruction and is charged at half this rate.
+    pub compress_cost_per_element: f64,
 }
 
 impl CpuModel {
@@ -35,6 +41,7 @@ impl CpuModel {
             reduce_cost_per_element: 5e-9,
             memcpy_cost_per_byte: 1.5e-10, // ~6.6 GB/s copy
             metadata_cost_per_entry: 2e-7,
+            compress_cost_per_element: 2e-9, // ~0.5 Gelem/s quantizer
         }
     }
 
@@ -56,6 +63,19 @@ impl CpuModel {
     /// Time to create `entries` metadata records.
     pub fn metadata_time(&self, entries: usize) -> SimTime {
         SimTime::from_secs(self.metadata_cost_per_entry * entries as f64)
+    }
+
+    /// Time to encode a `bytes`-long payload through the frame codec.
+    /// Elements are 8-byte predictor steps (f64 values or u64 words);
+    /// partial trailing elements round up.
+    pub fn compress_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs(self.compress_cost_per_element * bytes.div_ceil(8) as f64)
+    }
+
+    /// Time to decode a payload that reconstructs to `bytes` logical
+    /// bytes: half the encode rate (no range scan, no verify pass).
+    pub fn decompress_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs(0.5 * self.compress_cost_per_element * bytes.div_ceil(8) as f64)
     }
 
     /// Returns a copy whose `map_cost_per_byte` is scaled so that mapping a
@@ -101,5 +121,17 @@ mod tests {
         assert_eq!(c.reduce_time(0), SimTime::ZERO);
         assert_eq!(c.memcpy_time(0), SimTime::ZERO);
         assert_eq!(c.metadata_time(0), SimTime::ZERO);
+        assert_eq!(c.compress_time(0), SimTime::ZERO);
+        assert_eq!(c.decompress_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn codec_time_counts_eight_byte_elements() {
+        let c = CpuModel::magny_cours_like();
+        // 4096 bytes = 512 elements; a 4097-byte payload rounds up.
+        assert_eq!(c.compress_time(4096), c.compress_time(4089));
+        assert!(c.compress_time(4097) > c.compress_time(4096));
+        // Decode is charged at half the encode rate.
+        assert!((c.decompress_time(4096).secs() / c.compress_time(4096).secs() - 0.5).abs() < 1e-12);
     }
 }

@@ -357,6 +357,24 @@ impl Comm {
         payload: Vec<u8>,
         depart: SimTime,
     ) -> SimTime {
+        let logical_len = payload.len();
+        self.post_framed_bytes_at(dst, tag, payload, depart, logical_len)
+    }
+
+    /// [`post_bytes_at`](Self::post_bytes_at) for compressed frames: the
+    /// wire (transfer time, `bytes_*` counters) is charged on the posted
+    /// payload, while `logical_len` — the payload's decoded length —
+    /// accumulates into the per-lane `logical_*` counters, so the
+    /// logical-vs-wire gap in [`CommStats`] measures exactly what
+    /// compression saved on each lane.
+    pub fn post_framed_bytes_at(
+        &mut self,
+        dst: usize,
+        tag: TagValue,
+        payload: Vec<u8>,
+        depart: SimTime,
+        logical_len: usize,
+    ) -> SimTime {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         if dst == self.rank {
             // Self-send short-circuit: the payload never leaves this thread,
@@ -365,6 +383,7 @@ impl Comm {
             // "arrives" the moment it departs.
             self.stats.msgs_self += 1;
             self.stats.bytes_self += payload.len();
+            self.stats.logical_self += logical_len;
             self.self_queue.push_back(Envelope {
                 src: self.rank,
                 tag,
@@ -385,9 +404,11 @@ impl Comm {
         if same_node {
             self.stats.msgs_intra += 1;
             self.stats.bytes_intra += payload.len();
+            self.stats.logical_intra += logical_len;
         } else {
             self.stats.msgs_inter += 1;
             self.stats.bytes_inter += payload.len();
+            self.stats.logical_inter += logical_len;
         }
         let env = Envelope {
             src: self.rank,

@@ -146,6 +146,46 @@ impl Comm {
         })
     }
 
+    /// Sends a leader-to-leader collective frame, losslessly compressed
+    /// when the model's `compress_collective_frames` switch is on. The
+    /// codec CPU joins the sender overhead on this rank's clock; the wire
+    /// is charged on the compressed frame while the `logical_*` stats
+    /// lanes keep the decoded length. Lossless only, so the flat/
+    /// hierarchical bit-identity contract is untouched. (The typed
+    /// `hier_reduce` leg stays raw: its per-hop payloads are already the
+    /// reduced partials, not coalesced frames.)
+    fn send_inter_frame(&mut self, dst: usize, tag: TagValue, frame: Vec<u8>) {
+        if !self.model().compress_collective_frames {
+            self.send_bytes(dst, tag, frame);
+            return;
+        }
+        let logical_len = frame.len();
+        let mut wire = self.take_buf();
+        cc_compress::encode_into(&cc_compress::Compression::Lossless, &frame, &mut wire);
+        self.recycle_buf(frame);
+        let overhead =
+            self.model().cpu.compress_time(logical_len) + self.model().net.send_cost();
+        self.advance(overhead);
+        let depart = self.clock();
+        self.post_framed_bytes_at(dst, tag, wire, depart, logical_len);
+    }
+
+    /// Receives a leader-to-leader frame sent by
+    /// [`send_inter_frame`](Self::send_inter_frame), decoding it (and
+    /// charging decode CPU) when the model compresses collective frames.
+    fn recv_inter_frame(&mut self, src: usize, tag: TagValue) -> Vec<u8> {
+        let (wire, _) = self.recv_bytes(src, tag);
+        if !self.model().compress_collective_frames {
+            return wire;
+        }
+        let mut frame = self.take_buf();
+        let n = cc_compress::decode_into(&wire, &mut frame);
+        self.recycle_buf(wire);
+        let decode = self.model().cpu.decompress_time(n);
+        self.advance(decode);
+        frame
+    }
+
     /// The per-leg tags of one hierarchical collective, all stamped with
     /// the sequence number already embedded in `tag` (the single bump the
     /// dispatcher performed).
@@ -192,7 +232,7 @@ impl Comm {
             if vnode != 0 {
                 let parent_v = vnode & (vnode - 1);
                 let parent = view.leader_of_node((parent_v + root_node) % n);
-                payload = self.recv_bytes(parent, t_inter).0;
+                payload = self.recv_inter_frame(parent, t_inter);
             }
             let lowest = if vnode == 0 {
                 n.next_power_of_two()
@@ -206,7 +246,7 @@ impl Comm {
                     let child = view.leader_of_node((child_v + root_node) % n);
                     let mut buf = self.take_buf();
                     buf.extend_from_slice(&payload);
-                    self.send_bytes(child, t_inter, buf);
+                    self.send_inter_frame(child, t_inter, buf);
                 }
                 bit >>= 1;
             }
@@ -255,7 +295,7 @@ impl Comm {
                 if node == root_node {
                     continue;
                 }
-                let (frame, _) = self.recv_bytes(view.leader_of_node(node), t_inter);
+                let frame = self.recv_inter_frame(view.leader_of_node(node), t_inter);
                 let (lo, hi) = view.node_range(node);
                 let mut pos = 0;
                 #[allow(clippy::needless_range_loop)] // src is the peer rank
@@ -283,7 +323,7 @@ impl Comm {
                 push_section(&mut frame, &bytes);
                 self.recycle_buf(bytes);
             }
-            self.send_bytes(root, t_inter, frame);
+            self.send_inter_frame(root, t_inter, frame);
         } else {
             self.send(view.leader, t_intra, mine);
         }
@@ -437,7 +477,7 @@ impl Comm {
                     frame.extend_from_slice(&up);
                     self.recycle_buf(up);
                 }
-                self.send_bytes(view.leader_of_node(node), t_inter, frame);
+                self.send_inter_frame(view.leader_of_node(node), t_inter, frame);
             }
             // Receive the node-pair frames and relay per-member slices:
             // frame layout is src-major (ascending src in the remote
@@ -447,7 +487,7 @@ impl Comm {
                 if node == view.node {
                     continue;
                 }
-                let (frame, _) = self.recv_bytes(view.leader_of_node(node), t_inter);
+                let frame = self.recv_inter_frame(view.leader_of_node(node), t_inter);
                 let (lo, hi) = view.node_range(node);
                 let members = view.node_hi - view.node_lo;
                 let mut relays: Vec<Vec<u8>> = Vec::with_capacity(members);
@@ -608,6 +648,43 @@ mod tests {
         assert_eq!(flat_inter, nprocs * (nprocs - cores));
         assert_eq!(hier_inter, nodes * (nodes - 1));
         assert!(hier_inter * 4 <= flat_inter);
+    }
+
+    #[test]
+    fn compressed_collective_frames_agree_and_cut_wire_bytes() {
+        let nodes = 3;
+        let cores = 4;
+        let nprocs = nodes * cores;
+        let run = |compress: bool| {
+            let model = model(nodes, cores, CollectiveMode::Hierarchical)
+                .with_compressed_collective_frames(compress);
+            World::new(nprocs, model).run(move |comm| {
+                let rank = comm.rank();
+                // Highly regular payloads so the lossless word coder has
+                // structure to exploit on the coalesced frames.
+                let sends: Vec<Vec<u8>> = (0..nprocs)
+                    .map(|d| vec![(rank % 7) as u8; 64 + d * 8])
+                    .collect();
+                let a2a = comm.alltoallv_bytes(sends);
+                let b = comm.bcast_bytes(0, (rank == 0).then(|| vec![42u8; 4096]));
+                let g = comm.gatherv(0, &vec![rank as u64; 32]);
+                let ag = comm.allgatherv(&[rank as u32; 16]);
+                ((a2a, b, g, ag), comm.stats())
+            })
+        };
+        let raw = run(false);
+        let compressed = run(true);
+        for ((r, _), (c, _)) in raw.iter().zip(&compressed) {
+            assert_eq!(r, c, "compressed collectives changed results");
+        }
+        let wire: usize = compressed.iter().map(|(_, s)| s.bytes_inter).sum();
+        let logical: usize = compressed.iter().map(|(_, s)| s.logical_inter).sum();
+        assert!(
+            wire < logical,
+            "compressed frames should shrink inter-node wire bytes: wire {wire} logical {logical}"
+        );
+        let raw_wire: usize = raw.iter().map(|(_, s)| s.bytes_inter).sum();
+        assert_eq!(raw_wire, logical, "logical bytes must match the raw run's wire bytes");
     }
 
     #[test]

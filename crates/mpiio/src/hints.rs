@@ -1,5 +1,7 @@
 //! MPI-IO hints, mirroring the ROMIO `cb_*` info keys the paper tunes.
 
+pub use cc_compress::{Compression, ErrorBound};
+
 /// How the covered file range is partitioned into aggregator file domains.
 ///
 /// Mirrors ROMIO's Lustre driver: plain even splitting, stripe-aligned
@@ -134,6 +136,12 @@ pub struct Hints {
     /// [`PipelineDepth`]). Only meaningful in non-blocking mode — blocking
     /// mode is sequential by definition, whatever this says.
     pub pipeline_depth: PipelineDepth,
+    /// How shuffle payloads and coalesced frames that cross a node
+    /// boundary are compressed (see [`Compression`]). Intra-node traffic
+    /// always stays raw — the inter-node links and the PFS are where the
+    /// bytes are expensive. `Off` (the default) keeps every engine on its
+    /// original unframed path, bit- and clock-identical to the seed.
+    pub compression: Compression,
 }
 
 impl Default for Hints {
@@ -146,6 +154,7 @@ impl Default for Hints {
             domain_partition: DomainPartition::Even,
             striping: None,
             pipeline_depth: PipelineDepth::Unbounded,
+            compression: Compression::Off,
         }
     }
 }
@@ -169,6 +178,12 @@ impl Hints {
             assert!(s.factor > 0, "striping factor must be positive");
         }
         self.pipeline_depth.validate();
+        if let Compression::ErrorBounded(b) = self.compression {
+            assert!(
+                b.abs > 0.0 || b.rel > 0.0,
+                "error-bounded compression needs a positive bound"
+            );
+        }
     }
 
     /// The partition strategy the planner *actually* applies after its

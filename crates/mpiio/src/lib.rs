@@ -33,7 +33,7 @@ pub mod write;
 
 pub use auto::{collective_read_auto, ranges_interleave, AutoReport};
 pub use extent::{Extent, OffsetList, Piece};
-pub use hints::{DomainPartition, Hints, PipelineDepth, Striping};
+pub use hints::{Compression, DomainPartition, ErrorBound, Hints, PipelineDepth, Striping};
 pub use independent::{
     independent_read, independent_write, sieving_read, sieving_write, IndependentReport,
 };

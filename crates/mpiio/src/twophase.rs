@@ -24,9 +24,40 @@ use cc_profile::{Activity, Segment};
 
 use crate::exchange::exchange_requests;
 use crate::extent::OffsetList;
-use crate::hints::{Hints, Striping};
+use crate::hints::{Compression, Hints, Striping};
 use crate::plan::CollectivePlan;
 use crate::schedule::{PlanCache, PlanSchedule};
+
+/// Encodes `payload` for the wire when `mode` compresses this lane
+/// (inter-node only — intra-node and self traffic always travels raw).
+/// Returns the bytes to post plus the logical length to record; the
+/// original buffer is recycled when a frame replaces it. The frame is
+/// self-describing, so the receiver needs only the same `(mode,
+/// same_node)` pair — both deterministic on both ends — to know to decode.
+pub(crate) fn encode_for_wire(
+    comm: &mut Comm,
+    mode: &Compression,
+    same_node: bool,
+    payload: Vec<u8>,
+) -> (Vec<u8>, usize, bool) {
+    let logical_len = payload.len();
+    if !mode.is_on() || same_node {
+        return (payload, logical_len, false);
+    }
+    let mut wire = comm.take_buf();
+    cc_compress::encode_into(mode, &payload, &mut wire);
+    comm.recycle_buf(payload);
+    (wire, logical_len, true)
+}
+
+/// Decodes a received wire frame back into logical bytes (recycling the
+/// wire buffer); returns the logical payload and its length.
+pub(crate) fn decode_from_wire(comm: &mut Comm, wire: Vec<u8>) -> (Vec<u8>, usize) {
+    let mut logical = comm.take_buf();
+    let n = cc_compress::decode_into(&wire, &mut logical);
+    comm.recycle_buf(wire);
+    (logical, n)
+}
 
 /// Tag base for read-shuffle messages (outside the user and collective
 /// spaces). Each collective stamps its sequence number into the low bits
@@ -198,7 +229,7 @@ pub fn collective_read_cached(
 
     // --- Leader role: relay coalesced frames to the node's members. ----
     if let Some(view) = hier.as_ref().filter(|v| v.is_leader(comm.rank())) {
-        agg_done = agg_done.max(relay_read_frames(comm, &schedule, view, tag, &mut report));
+        agg_done = agg_done.max(relay_read_frames(comm, &schedule, view, tag, hints, &mut report));
     }
 
     // --- Receiver role: collect pieces from every sending chunk. -------
@@ -217,6 +248,17 @@ pub fn collective_read_cached(
             _ => (agg_rank, tag),
         };
         let (payload, info) = comm.recv_bytes_no_clock(src, src_tag);
+        // Direct sends from a remote-node aggregator arrive as compressed
+        // frames when the hints say so (relays and same-node sends are
+        // always raw) — the same deterministic test the sender applied.
+        let compressed =
+            hints.compression.is_on() && !comm.model().topology.same_node(src, comm.rank());
+        let (payload, decode) = if compressed {
+            let (logical, n) = decode_from_wire(comm, payload);
+            (logical, cpu.decompress_time(n))
+        } else {
+            (payload, SimTime::ZERO)
+        };
         let mut cursor = 0usize;
         for p in pieces {
             let len = p.extent.len as usize;
@@ -231,7 +273,7 @@ pub fn collective_read_cached(
              (aggregator {a}, iteration {iter}, tag {src_tag:#x})",
             comm.rank(),
         );
-        let unpacked = info.arrival + cpu.memcpy_time(payload.len());
+        let unpacked = info.arrival + decode + cpu.memcpy_time(payload.len());
         comm.recycle_buf(payload);
         done = done.max(unpacked);
     }
@@ -376,15 +418,25 @@ fn run_aggregator(
             // of the payload (a node's egress is a serially-reused
             // resource), and the per-message posting overhead. Per-piece
             // cost is what makes the shuffle of a finely-fragmented
-            // request approach the read cost (Fig. 1).
+            // request approach the read cost (Fig. 1). Inter-node
+            // payloads may be compressed: the codec CPU joins the lane
+            // hold and the NIC serializes only the wire bytes.
             let same_node = comm.model().topology.same_node(comm.rank(), dst);
-            let pack_and_post = cpu.memcpy_time(payload.len())
+            let (wire, logical_len, compressed) =
+                encode_for_wire(comm, &hints.compression, same_node, payload);
+            let codec = if compressed {
+                cpu.compress_time(logical_len)
+            } else {
+                SimTime::ZERO
+            };
+            let pack_and_post = cpu.memcpy_time(logical_len)
+                + codec
                 + comm.model().net.scatter_cost().scale(pieces.len() as f64)
-                + comm.model().net.wire_time(payload.len(), same_node)
+                + comm.model().net.wire_time(wire.len(), same_node)
                 + comm.model().net.msg_cost(same_node);
             let depart = shuffle_lane.acquire(read_done, pack_and_post);
-            report.bytes_shuffled += payload.len() as u64;
-            comm.post_bytes_at(dst, tag, payload, depart);
+            report.bytes_shuffled += logical_len as u64;
+            comm.post_framed_bytes_at(dst, tag, wire, depart, logical_len);
             shuffle_end = shuffle_end.max(depart);
         }
         if let Some(view) = hier {
@@ -419,13 +471,30 @@ fn run_aggregator(
                     }
                     frame_pieces += pieces.len();
                 }
-                let pack_and_post = cpu.memcpy_time(frame.len())
+                // Node-pair frames always cross the interconnect, so they
+                // are the prime compression target: one codec pass per
+                // frame, wire time on the compressed bytes.
+                let (wire, logical_len, compressed) =
+                    encode_for_wire(comm, &hints.compression, false, frame);
+                let codec = if compressed {
+                    cpu.compress_time(logical_len)
+                } else {
+                    SimTime::ZERO
+                };
+                let pack_and_post = cpu.memcpy_time(logical_len)
+                    + codec
                     + comm.model().net.scatter_cost().scale(frame_pieces as f64)
-                    + comm.model().net.wire_time(frame.len(), false)
+                    + comm.model().net.wire_time(wire.len(), false)
                     + comm.model().net.msg_cost(false);
                 let depart = shuffle_lane.acquire(read_done, pack_and_post);
-                report.bytes_shuffled += frame.len() as u64;
-                comm.post_bytes_at(view.leader_of_node(node), frame_tag, frame, depart);
+                report.bytes_shuffled += logical_len as u64;
+                comm.post_framed_bytes_at(
+                    view.leader_of_node(node),
+                    frame_tag,
+                    wire,
+                    depart,
+                    logical_len,
+                );
                 shuffle_end = shuffle_end.max(depart);
             }
         }
@@ -458,6 +527,7 @@ fn relay_read_frames(
     schedule: &PlanSchedule,
     view: &NodeView,
     tag: TagValue,
+    hints: &Hints,
     report: &mut TwoPhaseReport,
 ) -> SimTime {
     let cpu = comm.model().cpu.clone();
@@ -483,6 +553,16 @@ fn relay_read_frames(
                 continue; // no frame was sent for this chunk
             }
             let (frame, info) = comm.recv_bytes_no_clock(agg_rank, frame_tag);
+            // Frames from remote aggregators arrive compressed when the
+            // hints say so; the leader decodes once (occupying the relay
+            // lane) and relays raw sections intra-node.
+            let frame = if hints.compression.is_on() {
+                let (logical, n) = decode_from_wire(comm, frame);
+                relay_lane.acquire(info.arrival, cpu.decompress_time(n));
+                logical
+            } else {
+                frame
+            };
             let mut pos = 0usize;
             for (dst, pieces) in
                 schedule.dests_with_pieces_in(a, iter, view.node_lo, view.node_hi)

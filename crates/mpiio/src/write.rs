@@ -20,6 +20,7 @@ use crate::extent::{Extent, OffsetList};
 use crate::hints::{Hints, Striping};
 use crate::plan::CollectivePlan;
 use crate::schedule::{PlanCache, PlanSchedule};
+use crate::twophase::{decode_from_wire, encode_for_wire};
 
 /// Tag base for write-shuffle messages; each collective stamps its
 /// sequence number into the low bits (see `Comm::next_engine_tag`).
@@ -157,14 +158,24 @@ pub fn collective_write_cached(
             comm.post_bytes_at(view.leader, up_tag, payload, depart);
             continue;
         }
+        // Direct sends that cross the interconnect may travel compressed;
+        // intra-node sends always stay raw (cheap lane, nothing to save).
         let same_node = comm.model().topology.same_node(comm.rank(), agg_rank);
-        let cost = cpu.memcpy_time(payload.len())
+        let (wire, logical_len, compressed) =
+            encode_for_wire(comm, &hints.compression, same_node, payload);
+        let codec = if compressed {
+            cpu.compress_time(logical_len)
+        } else {
+            SimTime::ZERO
+        };
+        let cost = cpu.memcpy_time(logical_len)
+            + codec
             + comm.model().net.scatter_cost().scale(pieces.len() as f64)
-            + comm.model().net.wire_time(payload.len(), same_node)
+            + comm.model().net.wire_time(wire.len(), same_node)
             + comm.model().net.msg_cost(same_node);
         let depart = send_lane.acquire(comm.clock(), cost);
-        report.bytes_shuffled += payload.len() as u64;
-        comm.post_bytes_at(agg_rank, tag, payload, depart);
+        report.bytes_shuffled += logical_len as u64;
+        comm.post_framed_bytes_at(agg_rank, tag, wire, depart, logical_len);
     }
     let sends_done = send_lane.free_at().max(comm.clock());
     if sends_done > report.start {
@@ -176,7 +187,14 @@ pub fn collective_write_cached(
     // --- Leader role: coalesce members' up-messages into frames. --------
     let mut done = sends_done;
     if let Some(view) = hier.as_ref().filter(|v| v.is_leader(comm.rank())) {
-        done = done.max(coalesce_write_frames(comm, &schedule, view, tag, &mut report));
+        done = done.max(coalesce_write_frames(
+            comm,
+            &schedule,
+            view,
+            tag,
+            hints,
+            &mut report,
+        ));
     }
 
     // --- Aggregator role: assemble chunks and write. --------------------
@@ -212,6 +230,7 @@ fn coalesce_write_frames(
     schedule: &PlanSchedule,
     view: &NodeView,
     tag: TagValue,
+    hints: &Hints,
     report: &mut WriteReport,
 ) -> SimTime {
     let cpu = comm.model().cpu.clone();
@@ -259,12 +278,22 @@ fn coalesce_write_frames(
             }
             // Concatenating contiguous payloads is a plain copy — the
             // per-piece scatter cost was already paid by the members.
-            let cost = cpu.memcpy_time(frame.len())
-                + comm.model().net.wire_time(frame.len(), false)
+            // The coalesced frame always crosses the interconnect, so it
+            // is compressed whenever the hints ask for it.
+            let (wire, logical_len, compressed) =
+                encode_for_wire(comm, &hints.compression, false, frame);
+            let codec = if compressed {
+                cpu.compress_time(logical_len)
+            } else {
+                SimTime::ZERO
+            };
+            let cost = cpu.memcpy_time(logical_len)
+                + codec
+                + comm.model().net.wire_time(wire.len(), false)
                 + comm.model().net.msg_cost(false);
             let depart = frame_lane.acquire(arrival, cost);
-            report.bytes_shuffled += frame.len() as u64;
-            comm.post_bytes_at(agg_rank, frame_tag, frame, depart);
+            report.bytes_shuffled += logical_len as u64;
+            comm.post_framed_bytes_at(agg_rank, frame_tag, wire, depart, logical_len);
             last = last.max(depart);
         }
     }
@@ -343,7 +372,15 @@ fn run_write_aggregator(
                     }
                     let (bytes, info) =
                         comm.recv_bytes_no_clock(view.leader_of_node(src_node), frame_tag);
-                    arrival = arrival.max(info.arrival);
+                    // Leader frames always cross the interconnect, so they
+                    // arrive compressed exactly when the hints ask for it.
+                    let (bytes, decode) = if hints.compression.is_on() {
+                        let (logical, n) = decode_from_wire(comm, bytes);
+                        (logical, cpu.decompress_time(n))
+                    } else {
+                        (bytes, SimTime::ZERO)
+                    };
+                    arrival = arrival.max(info.arrival + decode);
                     frame = Some((src_node, 0, bytes));
                 }
                 let (_, cursor, bytes) = frame.as_mut().expect("frame just installed");
@@ -372,8 +409,16 @@ fn run_write_aggregator(
                 payload = own;
             } else {
                 let (bytes, info) = comm.recv_bytes_no_clock(src, tag);
-                arrival = arrival.max(info.arrival);
-                payload = bytes;
+                let compressed = hints.compression.is_on()
+                    && !comm.model().topology.same_node(src, comm.rank());
+                if compressed {
+                    let (logical, n) = decode_from_wire(comm, bytes);
+                    arrival = arrival.max(info.arrival + cpu.decompress_time(n));
+                    payload = logical;
+                } else {
+                    arrival = arrival.max(info.arrival);
+                    payload = bytes;
+                }
             }
             let mut cursor = 0usize;
             for p in pieces {
@@ -414,7 +459,38 @@ fn run_write_aggregator(
         if merged.total_bytes() > 0 {
             let ranges: Vec<(u64, u64)> =
                 merged.extents().iter().map(|e| (e.offset, e.len)).collect();
-            write_done = pfs.write_multi(file, clo, chunk, &ranges, ready);
+            write_done = if hints.compression.is_on() {
+                // The write-back travels to the file system compressed:
+                // the stored bytes are the codec's reconstruction
+                // (bit-exact under `Lossless`, within the error bound
+                // otherwise) and the disk charge scales with the
+                // compressed size while offsets stay logical.
+                let mut logical = comm.take_buf();
+                for &(off, len) in &ranges {
+                    let lo = (off - clo) as usize;
+                    logical.extend_from_slice(&chunk[lo..lo + len as usize]);
+                }
+                let mut wire = comm.take_buf();
+                cc_compress::encode_into(&hints.compression, &logical, &mut wire);
+                let mut recon = comm.take_buf();
+                let n = cc_compress::decode_into(&wire, &mut recon);
+                debug_assert_eq!(n, logical.len());
+                let mut cursor = 0usize;
+                for &(off, len) in &ranges {
+                    let lo = (off - clo) as usize;
+                    chunk[lo..lo + len as usize]
+                        .copy_from_slice(&recon[cursor..cursor + len as usize]);
+                    cursor += len as usize;
+                }
+                let codec_ready = ready + cpu.compress_time(logical.len());
+                let wire_len = wire.len() as u64;
+                comm.recycle_buf(logical);
+                comm.recycle_buf(recon);
+                comm.recycle_buf(wire);
+                pfs.write_multi_scaled(file, clo, chunk, &ranges, codec_ready, wire_len)
+            } else {
+                pfs.write_multi(file, clo, chunk, &ranges, ready)
+            };
             report.bytes_written += merged.total_bytes();
             report.writes_issued += 1;
         }
@@ -678,6 +754,137 @@ mod tests {
             back == data
         });
         assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn lossless_compressed_write_is_bit_identical_to_off() {
+        use crate::hints::Compression;
+        use cc_model::CollectiveMode;
+        // Interleaved pieces across a 2x3 topology so both the direct
+        // inter-node sends (flat) and the coalesced leader frames (hier)
+        // travel compressed. File contents must match the uncompressed
+        // run byte for byte in both modes.
+        let n = 6;
+        let requests: Vec<OffsetList> = (0..n as u64)
+            .map(|r| {
+                OffsetList::new(
+                    (0..15)
+                        .map(|k| Extent {
+                            offset: r * 10 + k * 10 * n as u64,
+                            len: 10,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let run_one = |mode: CollectiveMode, compression: Compression| {
+            let fs = empty_fs(900);
+            let mut model = ClusterModel::test_tiny(n).with_collectives(mode);
+            model.topology = Topology::new(2, 3);
+            let world = World::new(n, model);
+            {
+                let fs = &fs;
+                let requests = &requests;
+                world.run(move |comm| {
+                    let file = fs.open("out").expect("exists");
+                    let req = &requests[comm.rank()];
+                    let mut data = Vec::new();
+                    for e in req.extents() {
+                        data.extend((e.offset..e.end()).map(|i| (i % 251) as u8));
+                    }
+                    let hints = Hints {
+                        cb_buffer_size: 256,
+                        compression,
+                        ..Hints::default()
+                    };
+                    collective_write(comm, fs, &file, req, &data, &hints);
+                });
+            }
+            let file = fs.open("out").expect("exists");
+            let (bytes, _) = fs.read_at(&file, 0, 900, SimTime::ZERO);
+            bytes
+        };
+        for mode in [CollectiveMode::Flat, CollectiveMode::Hierarchical] {
+            let off = run_one(mode, Compression::Off);
+            let lossless = run_one(mode, Compression::Lossless);
+            assert_eq!(off, lossless, "lossless write changed bytes ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn error_bounded_write_respects_bound_and_cuts_wire_bytes() {
+        use crate::hints::{Compression, ErrorBound};
+        use cc_model::CollectiveMode;
+        // A smooth f64 field written across 2 nodes with an absolute
+        // error bound: the shuffle leg and the write-back leg each stay
+        // within the bound (errors compound additively across the two
+        // lossy hops), and the inter-node wire bytes shrink well below
+        // the logical bytes.
+        let n = 6;
+        let piece = 1024usize; // 128 f64 values per piece
+        let pieces_per_rank = 16usize;
+        let per_rank = (piece * pieces_per_rank) as u64;
+        let abs = 1e-3;
+        let field = |i: usize| 300.0 + 40.0 * (i as f64 * 1e-3).sin();
+        // Rank r owns 1 KiB pieces at stride n KiB — every chunk draws
+        // from both nodes, so the shuffle genuinely crosses the
+        // interconnect, while the offset-list metadata stays small next
+        // to the data.
+        let requests: Vec<OffsetList> = (0..n)
+            .map(|r| {
+                OffsetList::new(
+                    (0..pieces_per_rank)
+                        .map(|k| Extent {
+                            offset: ((r + k * n) * piece) as u64,
+                            len: piece as u64,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let fs = empty_fs((n as u64 * per_rank) as usize);
+        let mut model = ClusterModel::test_tiny(n).with_collectives(CollectiveMode::Hierarchical);
+        model.topology = Topology::new(2, 3);
+        let world = World::new(n, model);
+        let stats = {
+            let fs = &fs;
+            let requests = &requests;
+            world.run(move |comm| {
+                let file = fs.open("out").expect("exists");
+                let req = &requests[comm.rank()];
+                let mut data = Vec::new();
+                for e in req.extents() {
+                    for i in (e.offset / 8)..(e.end() / 8) {
+                        data.extend_from_slice(&field(i as usize).to_le_bytes());
+                    }
+                }
+                let hints = Hints {
+                    cb_buffer_size: 4096,
+                    compression: Compression::ErrorBounded(ErrorBound::absolute(abs)),
+                    ..Hints::default()
+                };
+                collective_write(comm, fs, &file, req, &data, &hints);
+                comm.stats()
+            })
+        };
+        let file = fs.open("out").expect("exists");
+        let (bytes, _) = fs.read_at(&file, 0, n as u64 * per_rank, SimTime::ZERO);
+        let mut max_err = 0.0f64;
+        for (i, w) in bytes.chunks_exact(8).enumerate() {
+            let got = f64::from_le_bytes(w.try_into().unwrap());
+            max_err = max_err.max((got - field(i)).abs());
+        }
+        assert!(
+            max_err <= 2.0 * abs + 1e-12,
+            "stored field error {max_err:e} exceeds two-hop bound {:e}",
+            2.0 * abs
+        );
+        let wire: usize = stats.iter().map(|s| s.bytes_inter).sum();
+        let logical: usize = stats.iter().map(|s| s.logical_inter).sum();
+        assert!(
+            logical >= 3 * wire,
+            "expected >=3x inter-node wire reduction: logical {logical} wire {wire}"
+        );
     }
 
     #[test]

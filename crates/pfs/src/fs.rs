@@ -269,6 +269,41 @@ impl Pfs {
         done
     }
 
+    /// [`write_multi`](Self::write_multi) for data that reached the file
+    /// system compressed: the full logical `ranges` are stored (offsets,
+    /// extents, and byte counters stay logical so readers are unaffected),
+    /// but the disk charge is scaled to `wire_bytes` — the compressed size
+    /// actually streamed to the OSTs. Each merged per-OST run is shortened
+    /// by `wire_bytes / total_logical_bytes` (floored at one byte), so the
+    /// seek count is unchanged and only streaming time shrinks.
+    pub fn write_multi_scaled(
+        &self,
+        file: &FileHandle,
+        base: u64,
+        data: &[u8],
+        ranges: &[(u64, u64)],
+        now: SimTime,
+        wire_bytes: u64,
+    ) -> SimTime {
+        let total = self.check_ranges(file, base, ranges, "write_multi_scaled");
+        for &(off, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            let src = (off - base) as usize;
+            file.backend.write_at(off, &data[src..src + len as usize]);
+        }
+        let scale = if total == 0 {
+            1.0
+        } else {
+            wire_bytes as f64 / total as f64
+        };
+        let done = self.charge_io_multi_scaled(file, ranges, now, scale);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(total, Ordering::Relaxed);
+        done
+    }
+
     /// Validates a vectorized range list (sorted, disjoint, at or after
     /// `base`, within the file) and returns the total byte count.
     fn check_ranges(&self, file: &FileHandle, base: u64, ranges: &[(u64, u64)], op: &str) -> u64 {
@@ -363,6 +398,20 @@ impl Pfs {
     /// runs, and booked on each OST under a single lock acquisition. OSTs
     /// proceed in parallel; runs on one OST queue.
     fn charge_io_multi(&self, file: &FileHandle, ranges: &[(u64, u64)], now: SimTime) -> SimTime {
+        self.charge_io_multi_scaled(file, ranges, now, 1.0)
+    }
+
+    /// `charge_io_multi` with each merged run's *streamed* length scaled by
+    /// `scale` (compressed write-back charges the wire bytes, not the
+    /// logical bytes). Runs keep their identity — one seek each — and never
+    /// shrink below one byte.
+    fn charge_io_multi_scaled(
+        &self,
+        file: &FileHandle,
+        ranges: &[(u64, u64)],
+        now: SimTime,
+        scale: f64,
+    ) -> SimTime {
         let mut start = now;
         if let Some(plan) = &self.fault {
             let mut tries = 0;
@@ -404,6 +453,11 @@ impl Pfs {
                     runs.push(len);
                 }
                 last_end = obj_off + len;
+            }
+            if scale != 1.0 {
+                for run in &mut runs {
+                    *run = ((*run as f64 * scale).round() as u64).max(1);
+                }
             }
             let ost_done = self.pool.book_many(ost, start, &runs);
             self.stats.extents_served.fetch_add(runs.len() as u64, Ordering::Relaxed);

@@ -683,6 +683,154 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lossless wire compression is a pure transport change: on a random
+    /// sweep, `Compression::Off` and `Compression::Lossless` must return
+    /// bit-identical read buffers and land bit-identical written files,
+    /// under flat and hierarchical shuffles and across staging depths.
+    #[test]
+    fn prop_lossless_compression_moves_identical_bytes(sweep in arb_sweep()) {
+        use cc_mpiio::Compression;
+        let nprocs = sweep.nprocs();
+        let nodes = sweep.nodes + 1; // >= 2 nodes so inter-node lanes engage
+        let size = sweep.file_size() + nprocs as u64 * ReqSweep::REGION;
+        let value_at = |o: u64| (o.wrapping_mul(227) ^ (o >> 5)) as u8;
+        let mut baseline: Option<(Vec<Vec<u8>>, Vec<u8>)> = None;
+        for mode in [CollectiveMode::Flat, CollectiveMode::Hierarchical] {
+            for compression in [Compression::Off, Compression::Lossless] {
+                for (_, nonblocking, depth) in
+                    [DEPTHS[0], DEPTHS[2], DEPTHS[4]]
+                {
+                    let fs = Pfs::new(4, DiskModel::lustre_like());
+                    fs.create(
+                        "t.nc",
+                        StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                        Box::new(MemBackend::from_bytes((0..size).map(value_at).collect())),
+                    );
+                    fs.create(
+                        "out.nc",
+                        StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                        Box::new(MemBackend::zeroed(size as usize)),
+                    );
+                    let fs = Arc::new(fs);
+                    let model =
+                        test_model(nodes, nprocs.div_ceil(nodes)).with_collectives(mode);
+                    let world = World::new(nprocs, model);
+                    let per_rank = {
+                        let fs = &fs;
+                        let sweep_ref = &sweep;
+                        world.run(move |comm| {
+                            let file = fs.open("t.nc").expect("exists");
+                            let out = fs.open("out.nc").expect("exists");
+                            let hints = Hints {
+                                compression,
+                                ..with_depth(&sweep_ref.hints(), nonblocking, depth)
+                            };
+                            let mut got = Vec::new();
+                            for step in 0..sweep_ref.steps {
+                                let req = sweep_ref.request(comm.rank(), step);
+                                let (bytes, _) =
+                                    collective_read(comm, fs, &file, &req, &hints);
+                                let wreq = sweep_ref.request_disjoint(comm.rank(), step);
+                                let data: Vec<u8> = wreq
+                                    .extents()
+                                    .iter()
+                                    .flat_map(|e| (e.offset..e.end()).map(value_at))
+                                    .collect();
+                                collective_write(comm, fs, &out, &wreq, &data, &hints);
+                                got.push(bytes);
+                            }
+                            got
+                        })
+                    };
+                    let reads: Vec<Vec<u8>> = per_rank.into_iter().flatten().collect();
+                    let out = fs.open("out.nc").expect("exists");
+                    let (file_bytes, _) = fs.read_at(&out, 0, size, SimTime::ZERO);
+                    match &baseline {
+                        None => baseline = Some((reads, file_bytes)),
+                        Some((base_reads, base_file)) => {
+                            prop_assert_eq!(
+                                base_reads, &reads,
+                                "{:?} {:?} read bytes diverged", compression, mode
+                            );
+                            prop_assert_eq!(
+                                base_file, &file_bytes,
+                                "{:?} {:?} written file diverged", compression, mode
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Error-bounded hints must never flip a selection kernel's winner: the
+/// engine clamps lossy compression to lossless for exact-tolerance
+/// kernels (min/max and the located variants). The field is adversarial —
+/// a near-flat ramp whose step (1e-7) is far below the requested bound
+/// (1e-3), so an actually-lossy shuffle would collapse thousands of
+/// near-ties onto shared reconstructions and report a wrong winner or a
+/// wrong index. Both the collective-computing path and the blocking
+/// (traditional, raw-field-shuffling) path are pinned, under flat and
+/// hierarchical collectives.
+#[test]
+fn error_bounded_hints_never_flip_selection_winners() {
+    use cc_core::{MaxLocKernel, MinKernel};
+    use cc_mpiio::{Compression, ErrorBound};
+
+    const N: u64 = 4096;
+    let value = |i: u64| 500.0 - i as f64 * 1e-7;
+    let nprocs = 4;
+    let bytes: Vec<u8> = (0..N).flat_map(|i| value(i).to_le_bytes()).collect();
+    for mode in [CollectiveMode::Flat, CollectiveMode::Hierarchical] {
+        for blocking in [false, true] {
+            let fs = Pfs::new(4, DiskModel::lustre_like());
+            fs.create(
+                "t.nc",
+                StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                Box::new(MemBackend::from_bytes(bytes.clone())),
+            );
+            let fs = Arc::new(fs);
+            let var = cc_array::Variable::new("v", Shape::new(vec![N]), cc_array::DType::F64, 0);
+            let model = test_model(2, nprocs / 2).with_collectives(mode);
+            let world = World::new(nprocs, model);
+            let results = {
+                let fs = &fs;
+                let var = &var;
+                world.run(move |comm| {
+                    let file = fs.open("t.nc").expect("exists");
+                    let per = N / nprocs as u64;
+                    let start = vec![comm.rank() as u64 * per];
+                    let count = vec![per];
+                    let io = ObjectIo::new(start, count).blocking(blocking).hints(Hints {
+                        cb_buffer_size: 2048,
+                        compression: Compression::ErrorBounded(ErrorBound::absolute(1e-3)),
+                        ..Hints::default()
+                    });
+                    let minloc = object_get_vara(comm, fs, &file, var, &io, &MinLocKernel);
+                    let maxloc = object_get_vara(comm, fs, &file, var, &io, &MaxLocKernel);
+                    let min = object_get_vara(comm, fs, &file, var, &io, &MinKernel);
+                    (minloc.global, maxloc.global, min.global)
+                })
+            };
+            let (minloc, maxloc, min) = results
+                .iter()
+                .find_map(|(a, b, c)| a.clone().map(|a| (a, b.clone().unwrap(), c.clone().unwrap())))
+                .expect("root holds the globals");
+            // The ramp decreases: exact min is the last element, exact max
+            // the first — value *and* index must be exact to the bit.
+            assert_eq!(minloc[0].to_bits(), value(N - 1).to_bits(), "minloc value ({mode:?}, blocking={blocking})");
+            assert_eq!(minloc[1], (N - 1) as f64, "minloc index ({mode:?}, blocking={blocking})");
+            assert_eq!(maxloc[0].to_bits(), value(0).to_bits(), "maxloc value ({mode:?}, blocking={blocking})");
+            assert_eq!(maxloc[1], 0.0, "maxloc index ({mode:?}, blocking={blocking})");
+            assert_eq!(min[0].to_bits(), value(N - 1).to_bits(), "min value ({mode:?}, blocking={blocking})");
+        }
+    }
+}
+
 /// A deterministic single-aggregator read workload: one node, so exactly
 /// one rank books OST intervals and the virtual clock is reproducible
 /// across runs (multi-aggregator timing depends on wall-clock booking
