@@ -1,0 +1,78 @@
+//! Multi-job collective service benchmark: runs mixed populations of
+//! N in {2, 4, 8, 16} batch sweeps + interactive ROI queries through the
+//! shared-cluster scheduler and compares against chaining the same jobs
+//! serially; writes `BENCH_service.json`.
+//!
+//! Every population runs three ways over identically-built file systems —
+//! concurrent under QoS-WFQ, serial, and each job solo — and the harness
+//! asserts per-job FNV checksums are bit-identical across all three
+//! before reporting: the scheduler reorders *when* demand lands on shared
+//! OSTs and backbone links, never what any job computes. `--quick`
+//! shrinks the workload for CI smoke runs.
+
+use cc_bench::service::{ms, run_sweep, secs_per_job, row_json, ServiceBenchConfig};
+use cc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = ServiceBenchConfig::for_scale(scale);
+    let rows = run_sweep(&cfg);
+
+    // Acceptance: at 8 concurrent mixed jobs the service must deliver at
+    // least 1.5x the aggregate throughput of serial chaining.
+    let at8 = rows
+        .iter()
+        .find(|r| r.n_jobs == 8)
+        .expect("sweep covers N=8");
+    assert!(
+        at8.speedup >= 1.5,
+        "aggregate throughput at N=8 only {:.2}x over serial",
+        at8.speedup
+    );
+    // Acceptance: the shape-repeating population must hit other jobs'
+    // compiled plans (cross-job reuse is the point of the shared cache).
+    for r in rows.iter().filter(|r| r.n_jobs >= 4) {
+        assert!(
+            r.cache.cross_job_hits + r.cache.cross_job_translations > 0,
+            "no cross-job plan reuse at N={}",
+            r.n_jobs
+        );
+    }
+
+    let traffic = cfg.traffic(8);
+    let json = format!(
+        "{{\n  \"bench\": \"multi_job_service\",\n  \"scale\": \"{}\",\n  \"speedup_at_8_jobs\": {:.3},\n  \"nodes\": {},\n  \"cores_per_node\": {},\n  \"backbone_bytes_per_sec\": {:.3e},\n  \"osts\": {},\n  \"sweep_steps\": {},\n  \"rows_per_step\": {},\n  \"cols\": {},\n  \"policy\": \"qos_wfq\",\n  \"populations\": [\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        at8.speedup,
+        cfg.nodes,
+        cfg.cores,
+        cfg.backbone_bytes_per_sec,
+        traffic.total_osts,
+        traffic.sweep_steps,
+        traffic.rows_per_step,
+        traffic.cols,
+        row_json(&rows[0]),
+        row_json(&rows[1]),
+        row_json(&rows[2]),
+        row_json(&rows[3]),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    for r in &rows {
+        eprintln!(
+            "N={:2}: speedup {:.2}x ({:.1} -> {:.1} virtual ms/job), p99 interactive {:.2} ms \
+             (serial {:.2} ms), cross-job reuse {:.0}% of {} lookups",
+            r.n_jobs,
+            r.speedup,
+            ms(secs_per_job(r.serial_makespan_secs, r.n_jobs)),
+            ms(secs_per_job(r.concurrent_makespan_secs, r.n_jobs)),
+            ms(r.p99_interactive_secs),
+            ms(r.p99_interactive_serial_secs),
+            r.cross_job_rate * 100.0,
+            r.cache.lookups(),
+        );
+    }
+}

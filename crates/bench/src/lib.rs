@@ -19,6 +19,7 @@ pub mod layout;
 pub mod pipeline;
 pub mod plan;
 pub mod runner;
+pub mod service;
 
 pub use ablations::*;
 pub use figs::*;

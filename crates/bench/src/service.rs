@@ -1,0 +1,266 @@
+//! Multi-job service benchmark: concurrent scheduling vs serial chaining.
+//!
+//! The scenario is a shared analysis cluster running a mixed population
+//! ([`MixedTraffic`]): background batch sweeps that all issue the same
+//! hyperslab shapes (the cross-job plan-reuse opportunity) and small
+//! interactive ROI queries arriving on top. For each population size N
+//! the harness runs the jobs three ways over identically-built file
+//! systems:
+//!
+//! 1. **Concurrent** — through [`Service::run`] under the QoS-WFQ policy,
+//!    sharing the OSTs, a backbone lane, and one plan cache;
+//! 2. **Serial** — [`Service::run_serial`], jobs chained end to end with
+//!    private plan caches (the no-service baseline);
+//! 3. **Solo** — each job alone on a fresh file system.
+//!
+//! Per-job checksums must be bit-identical across all three: the
+//! scheduler moves *when* demand lands on shared resources, never what
+//! any job computes. The speedup is concurrent vs serial makespan, i.e.
+//! aggregate job throughput at equal work.
+
+use cc_model::{ClusterModel, DiskModel};
+use cc_mpiio::PlanCacheStats;
+use cc_service::{QosClass, Service, ServicePolicy};
+use cc_workloads::MixedTraffic;
+
+use crate::Scale;
+
+/// Cluster shape for the service bench.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceBenchConfig {
+    /// Nodes in the shared cluster.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores: usize,
+    /// Aggregate backbone-lane capacity shared by all jobs (bytes/s).
+    pub backbone_bytes_per_sec: f64,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl ServiceBenchConfig {
+    /// `Quick` is the CI smoke configuration; `Full` the documented one.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => Self {
+                nodes: 16,
+                cores: 4,
+                backbone_bytes_per_sec: 2e10,
+                scale,
+            },
+            Scale::Quick => Self {
+                nodes: 8,
+                cores: 2,
+                backbone_bytes_per_sec: 1e10,
+                scale,
+            },
+        }
+    }
+
+    /// The mixed population at `n_jobs` total: half batch sweeps (rounded
+    /// up), half interactive ROI queries.
+    pub fn traffic(&self, n_jobs: usize) -> MixedTraffic {
+        let batch = n_jobs.div_ceil(2);
+        let interactive = n_jobs - batch;
+        let mut t = match self.scale {
+            Scale::Quick => MixedTraffic::quick(batch, interactive),
+            Scale::Full => MixedTraffic::full(batch, interactive),
+        };
+        // Jobs must fit the cluster whole; clamp rank counts to one and
+        // two nodes respectively so every N in the sweep admits.
+        t.batch_nprocs = 2 * self.cores;
+        t.interactive_nprocs = self.cores;
+        t
+    }
+
+    fn model(&self) -> ClusterModel {
+        ClusterModel::hopper_like(self.nodes, self.cores)
+    }
+}
+
+/// What one population size measured.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcomeRow {
+    /// Total jobs in the population.
+    pub n_jobs: usize,
+    /// Interactive jobs among them.
+    pub interactive_jobs: usize,
+    /// Makespan of the serial chaining, virtual seconds.
+    pub serial_makespan_secs: f64,
+    /// Makespan of the concurrent service run, virtual seconds.
+    pub concurrent_makespan_secs: f64,
+    /// Aggregate-throughput speedup: serial / concurrent makespan.
+    pub speedup: f64,
+    /// p99 latency over interactive jobs in the concurrent run (virtual
+    /// seconds; arrival to completion, queueing included).
+    pub p99_interactive_secs: f64,
+    /// Mean interactive latency in the concurrent run.
+    pub mean_interactive_secs: f64,
+    /// p99 interactive latency under serial chaining, for contrast.
+    pub p99_interactive_serial_secs: f64,
+    /// Shared plan-cache counters of the concurrent run.
+    pub cache: PlanCacheStats,
+    /// Fraction of lookups served from another job's compiled plans.
+    pub cross_job_rate: f64,
+    /// Bytes pushed through the shared backbone lane.
+    pub lane_bytes: u64,
+}
+
+/// p-th percentile (0..=100) of an unsorted latency sample, in seconds.
+pub fn percentile(mut secs: Vec<f64>, p: f64) -> f64 {
+    if secs.is_empty() {
+        return 0.0;
+    }
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((secs.len() as f64 * p / 100.0).ceil() as usize).clamp(1, secs.len());
+    secs[idx - 1]
+}
+
+/// Runs one population size through concurrent, serial, and solo
+/// execution, asserting per-job bit-identity across all three.
+pub fn run_n(cfg: &ServiceBenchConfig, n_jobs: usize) -> ServiceOutcomeRow {
+    let traffic = cfg.traffic(n_jobs);
+    let disk = DiskModel::lustre_like();
+    let submit_all = |svc: &mut Service| {
+        for spec in traffic.jobs() {
+            svc.submit(spec).expect("bench specs admit cleanly");
+        }
+    };
+
+    let mut concurrent = Service::new(cfg.model(), traffic.build_fs(disk.clone()))
+        .with_policy(ServicePolicy::QosWfq)
+        .with_backbone(cfg.backbone_bytes_per_sec);
+    submit_all(&mut concurrent);
+    let conc = concurrent.run();
+
+    let mut serial = Service::new(cfg.model(), traffic.build_fs(disk.clone()))
+        .with_backbone(cfg.backbone_bytes_per_sec);
+    submit_all(&mut serial);
+    let ser = serial.run_serial();
+
+    // Solo reference: each job alone on a fresh, identically-built file
+    // system. Its checksum is the job's ground truth.
+    for (i, spec) in traffic.jobs().into_iter().enumerate() {
+        let mut solo = Service::new(cfg.model(), traffic.build_fs(disk.clone()))
+            .with_backbone(cfg.backbone_bytes_per_sec);
+        let name = spec.name.clone();
+        solo.submit(spec).expect("solo spec admits");
+        let solo_out = solo.run();
+        assert_eq!(
+            solo_out.jobs[0].checksum(),
+            conc.jobs[i].checksum(),
+            "job {name}: concurrent result diverged from solo run"
+        );
+        assert_eq!(
+            solo_out.jobs[0].checksum(),
+            ser.jobs[i].checksum(),
+            "job {name}: serial result diverged from solo run"
+        );
+    }
+
+    let lat = |out: &cc_service::ServiceOutcome| -> Vec<f64> {
+        out.jobs
+            .iter()
+            .filter(|j| j.class == QosClass::Interactive)
+            .map(|j| j.latency().secs())
+            .collect()
+    };
+    let conc_lat = lat(&conc);
+    let ser_lat = lat(&ser);
+    let mean = if conc_lat.is_empty() {
+        0.0
+    } else {
+        conc_lat.iter().sum::<f64>() / conc_lat.len() as f64
+    };
+    ServiceOutcomeRow {
+        n_jobs,
+        interactive_jobs: conc_lat.len(),
+        serial_makespan_secs: ser.makespan.secs(),
+        concurrent_makespan_secs: conc.makespan.secs(),
+        speedup: ser.makespan.secs() / conc.makespan.secs().max(f64::MIN_POSITIVE),
+        p99_interactive_secs: percentile(conc_lat.clone(), 99.0),
+        mean_interactive_secs: mean,
+        p99_interactive_serial_secs: percentile(ser_lat, 99.0),
+        cache: conc.cache,
+        cross_job_rate: conc.cache.cross_job_rate(),
+        lane_bytes: conc.lane.map_or(0, |l| l.bytes),
+    }
+}
+
+/// The population sweep the headline bench reports: N in {2, 4, 8, 16}.
+pub fn run_sweep(cfg: &ServiceBenchConfig) -> Vec<ServiceOutcomeRow> {
+    [2usize, 4, 8, 16].iter().map(|&n| run_n(cfg, n)).collect()
+}
+
+/// Virtual seconds of makespan per job — the aggregate-throughput figure
+/// inverted for readability in reports.
+pub fn secs_per_job(makespan_secs: f64, n_jobs: usize) -> f64 {
+    makespan_secs / n_jobs as f64
+}
+
+/// One row's share of the sweep as a JSON object (hand-built, no serde in
+/// the workspace).
+pub fn row_json(r: &ServiceOutcomeRow) -> String {
+    format!(
+        "{{ \"n_jobs\": {}, \"interactive_jobs\": {}, \"serial_makespan_secs\": {:.6e}, \
+         \"concurrent_makespan_secs\": {:.6e}, \"speedup\": {:.3}, \
+         \"p99_interactive_secs\": {:.6e}, \"mean_interactive_secs\": {:.6e}, \
+         \"p99_interactive_serial_secs\": {:.6e}, \"cache_lookups\": {}, \
+         \"cache_hits\": {}, \"cache_translations\": {}, \"cache_misses\": {}, \
+         \"cross_job_hits\": {}, \"cross_job_translations\": {}, \
+         \"cross_job_rate\": {:.3}, \"lane_bytes\": {} }}",
+        r.n_jobs,
+        r.interactive_jobs,
+        r.serial_makespan_secs,
+        r.concurrent_makespan_secs,
+        r.speedup,
+        r.p99_interactive_secs,
+        r.mean_interactive_secs,
+        r.p99_interactive_serial_secs,
+        r.cache.lookups(),
+        r.cache.hits,
+        r.cache.translations,
+        r.cache.misses,
+        r.cache.cross_job_hits,
+        r.cache.cross_job_translations,
+        r.cross_job_rate,
+        r.lane_bytes,
+    )
+}
+
+/// Converts a latency in virtual seconds to a human-scaled milliseconds
+/// figure for logs.
+pub fn ms(secs: f64) -> f64 {
+    secs * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_tail() {
+        let lat = vec![0.5, 0.1, 0.9, 0.3];
+        assert_eq!(percentile(lat.clone(), 99.0), 0.9);
+        assert_eq!(percentile(lat.clone(), 50.0), 0.3);
+        assert_eq!(percentile(vec![], 99.0), 0.0);
+    }
+
+    #[test]
+    fn quick_sweep_point_speeds_up_and_shares_plans() {
+        let cfg = ServiceBenchConfig::for_scale(Scale::Quick);
+        let row = run_n(&cfg, 4);
+        assert_eq!(row.n_jobs, 4);
+        assert!(row.interactive_jobs >= 1);
+        // Two batch sweeps with identical shapes must share plans.
+        assert!(
+            row.cache.cross_job_hits + row.cache.cross_job_translations > 0,
+            "no cross-job reuse at N=4: {:?}",
+            row.cache
+        );
+        // Overlapping independent jobs must beat chaining them.
+        assert!(row.speedup > 1.0, "speedup {:.2}", row.speedup);
+        // QoS-WFQ keeps the interactive tail under the serial chain's.
+        assert!(row.p99_interactive_secs <= row.p99_interactive_serial_secs);
+    }
+}

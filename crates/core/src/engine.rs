@@ -19,7 +19,7 @@ use cc_model::{BufferRing, Lane, SimTime};
 use cc_mpi::comm::TagValue;
 use cc_mpi::Comm;
 use cc_mpiio::exchange::exchange_requests;
-use cc_mpiio::{independent_read, CollectivePlan, Hints, PlanCache, PlanSchedule, Striping};
+use cc_mpiio::{independent_read, Hints, PlanCache, PlanSchedule, PlanSource, Striping};
 use cc_pfs::{FileHandle, Pfs};
 use cc_profile::{Activity, Segment};
 
@@ -130,6 +130,32 @@ pub fn object_get_vara_cached(
     kernel: &dyn MapKernel,
     cache: Option<&mut PlanCache>,
 ) -> CcOutcome {
+    object_get_vara_planned(
+        comm,
+        pfs,
+        file,
+        var,
+        io,
+        kernel,
+        &mut PlanSource::from_option(cache),
+    )
+}
+
+/// [`object_get_vara`] drawing its compiled schedule from an explicit
+/// [`PlanSource`]: fresh compiles, a per-run cache, or the multi-job
+/// service's process-wide shared cache (which tags each lookup with the
+/// job id so cross-job reuse is counted). Every rank must pass an
+/// equivalent source; the source only matters on the collective
+/// non-blocking path — blocking and independent modes ignore it.
+pub fn object_get_vara_planned(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    var: &Variable,
+    io: &ObjectIo,
+    kernel: &dyn MapKernel,
+    plans: &mut PlanSource<'_>,
+) -> CcOutcome {
     let slab = Hyperslab::new(io.start.clone(), io.count.clone());
     if io.blocking {
         // io.block = true: "essentially identical to the traditional
@@ -139,7 +165,7 @@ pub fn object_get_vara_cached(
     match io.mode {
         IoMode::Independent => run_independent(comm, pfs, file, var, &slab, io, kernel),
         IoMode::Collective => {
-            run_collective_computing(comm, pfs, file, var, &slab, io, kernel, cache)
+            run_collective_computing(comm, pfs, file, var, &slab, io, kernel, plans)
         }
     }
 }
@@ -228,7 +254,7 @@ fn run_collective_computing(
     slab: &Hyperslab,
     io: &ObjectIo,
     kernel: &dyn MapKernel,
-    cache: Option<&mut PlanCache>,
+    plans: &mut PlanSource<'_>,
 ) -> CcOutcome {
     let mut report = CcReport {
         start: comm.clock(),
@@ -258,15 +284,7 @@ fn run_collective_computing(
     let request = var.byte_extents(slab);
     let requests = exchange_requests(comm, &request);
     let topology = comm.model().topology.clone();
-    let schedule = match cache {
-        Some(cache) => cache.get_or_compile(requests, &topology, comm.nprocs(), &hints),
-        None => PlanSchedule::compile(CollectivePlan::build(
-            requests,
-            &topology,
-            comm.nprocs(),
-            &hints,
-        )),
-    };
+    let schedule = plans.get(requests, &topology, comm.nprocs(), &hints);
     // The request exchange is collective, so the tag counter is symmetric
     // across ranks here and this operation's result tag is unique to it.
     let results_tag = comm.next_engine_tag(TAG_RESULTS);

@@ -9,10 +9,10 @@
 
 use cc_array::Variable;
 use cc_mpi::{Comm, CommStats};
-use cc_mpiio::{PlanCache, PlanCacheStats};
+use cc_mpiio::{PlanCache, PlanCacheStats, PlanSource, SharedPlanCache};
 use cc_pfs::{FileHandle, OstBalance, Pfs};
 
-use crate::engine::{object_get_vara_cached, CcOutcome};
+use crate::engine::{object_get_vara_planned, CcOutcome};
 use crate::kernel::{MapKernel, Partial};
 use crate::object::ObjectIo;
 
@@ -51,17 +51,47 @@ pub fn iterative_get_vara(
     steps: &[(&Variable, ObjectIo)],
     kernel: &dyn MapKernel,
 ) -> IterativeOutcome {
+    // One plan cache spans the sweep: steps that repeat (or merely shift)
+    // the access shape reuse the compiled schedule instead of replanning.
+    let mut plans = PlanCache::new();
+    iterative_get_vara_planned(comm, pfs, file, steps, kernel, &mut PlanSource::Local(&mut plans))
+}
+
+/// [`iterative_get_vara`] drawing schedules from a process-wide
+/// [`SharedPlanCache`] on behalf of job `job` — the multi-job service's
+/// entry point. Sweeps of different jobs issuing the same hyperslab shapes
+/// (same rank count, topology, hints, striping) share one compiled
+/// schedule; the outcome's `plan_cache` reports only *this* sweep's
+/// lookups, with the cross-job subsets filled in.
+pub fn iterative_get_vara_shared(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    steps: &[(&Variable, ObjectIo)],
+    kernel: &dyn MapKernel,
+    cache: &SharedPlanCache,
+    job: u64,
+) -> IterativeOutcome {
+    iterative_get_vara_planned(comm, pfs, file, steps, kernel, &mut PlanSource::shared(cache, job))
+}
+
+/// The common sweep body over an explicit [`PlanSource`].
+pub fn iterative_get_vara_planned(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    steps: &[(&Variable, ObjectIo)],
+    kernel: &dyn MapKernel,
+    plans: &mut PlanSource<'_>,
+) -> IterativeOutcome {
     assert!(!steps.is_empty(), "iterative sweep needs at least one step");
     let comm_since = comm.stats();
     let mut outcomes = Vec::with_capacity(steps.len());
     let mut folded: Option<Partial> = None;
     let mut per_step: Vec<Vec<f64>> = Vec::new();
     let mut at_root = false;
-    // One plan cache spans the sweep: steps that repeat (or merely shift)
-    // the access shape reuse the compiled schedule instead of replanning.
-    let mut plans = PlanCache::new();
     for (step_idx, (var, io)) in steps.iter().enumerate() {
-        let out = object_get_vara_cached(comm, pfs, file, var, io, kernel, Some(&mut plans));
+        let out = object_get_vara_planned(comm, pfs, file, var, io, kernel, plans);
         if let Some(p) = &out.global_partial {
             at_root = true;
             let Some(global) = out.global.clone() else {
@@ -99,7 +129,7 @@ pub fn iterative_get_vara(
         }),
         per_step: at_root.then_some(per_step),
         steps: outcomes,
-        plan_cache: plans.stats(),
+        plan_cache: plans.seen(),
         ost_balance: pfs.ost_balance(),
         comm: comm.stats().delta(&comm_since),
     }

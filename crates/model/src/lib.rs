@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod booking;
 pub mod cpu;
 pub mod disk;
 pub mod fault;
@@ -21,6 +22,7 @@ pub mod topology;
 
 use std::time::Duration;
 
+pub use booking::{BusyLedger, LaneStats, SharedLane};
 pub use cpu::CpuModel;
 pub use disk::DiskModel;
 pub use fault::FaultPlan;

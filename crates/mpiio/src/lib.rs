@@ -38,6 +38,11 @@ pub use independent::{
     independent_read, independent_write, sieving_read, sieving_write, IndependentReport,
 };
 pub use plan::{CollectivePlan, FileDomain};
-pub use schedule::{CacheOutcome, PlanCache, PlanCacheStats, PlanSchedule};
-pub use twophase::{collective_read, collective_read_cached, IterationTiming, TwoPhaseReport};
-pub use write::{collective_write, collective_write_cached, WriteReport};
+pub use schedule::{
+    CacheOutcome, PlanCache, PlanCacheStats, PlanSchedule, PlanSource, SharedPlanCache,
+};
+pub use twophase::{
+    collective_read, collective_read_cached, collective_read_planned, IterationTiming,
+    TwoPhaseReport,
+};
+pub use write::{collective_write, collective_write_cached, collective_write_planned, WriteReport};

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use cc_model::Topology;
 
@@ -476,6 +476,14 @@ impl PlanSchedule {
         &self.plan
     }
 
+    /// Whether two schedules share the same compiled index tables (the
+    /// shape-invariant half of the schedule) by `Arc` — true for cache
+    /// hits and translations of one entry, false for independent compiles.
+    /// Lets tests assert that cache sharing actually shared memory.
+    pub fn shares_index_with(&self, other: &PlanSchedule) -> bool {
+        Arc::ptr_eq(&self.index, &other.index)
+    }
+
     /// The index in the aggregator list of rank `r`, if it aggregates.
     pub fn aggregator_index(&self, rank: usize) -> Option<usize> {
         self.plan.aggregator_index(rank)
@@ -693,7 +701,8 @@ pub enum CacheOutcome {
     Miss,
 }
 
-/// Counters of one cache's lifetime.
+/// Counters of one cache's lifetime (or, when read through a
+/// [`PlanSource`], of one holder's share of a shared cache's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Exact reuses (identical requests).
@@ -702,6 +711,53 @@ pub struct PlanCacheStats {
     pub translations: u64,
     /// Full compiles.
     pub misses: u64,
+    /// Exact reuses of an entry *another job* compiled — the subset of
+    /// `hits` a job could never have gotten from a private cache.
+    pub cross_job_hits: u64,
+    /// Offset-translation reuses of another job's entry — the subset of
+    /// `translations` owed to cache sharing.
+    pub cross_job_translations: u64,
+}
+
+impl PlanCacheStats {
+    /// Total lookups (hits + translations + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.translations + self.misses
+    }
+
+    /// Fraction of lookups satisfied without a fresh compile (0.0 when no
+    /// lookups have happened).
+    pub fn reuse_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.translations) as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of lookups satisfied by *another job's* entry (0.0 when no
+    /// lookups have happened) — the benefit attributable purely to sharing
+    /// the cache across jobs.
+    pub fn cross_job_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.cross_job_hits + self.cross_job_translations) as f64 / lookups as f64
+        }
+    }
+
+    /// Element-wise sum, for folding per-rank or per-job stats.
+    pub fn merge(&self, other: &PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits + other.hits,
+            translations: self.translations + other.translations,
+            misses: self.misses + other.misses,
+            cross_job_hits: self.cross_job_hits + other.cross_job_hits,
+            cross_job_translations: self.cross_job_translations + other.cross_job_translations,
+        }
+    }
 }
 
 /// The key a compiled schedule is filed under: the *shape* of the request
@@ -721,6 +777,9 @@ struct CacheEntry {
     requests: Arc<Vec<OffsetList>>,
     /// Their global minimum offset (0 for an all-empty set).
     lo: u64,
+    /// The job that paid for the compile (0 for untagged lookups); a later
+    /// lookup from a different job counts as a cross-job reuse.
+    origin: u64,
     schedule: PlanSchedule,
 }
 
@@ -776,6 +835,22 @@ impl PlanCache {
         nprocs: usize,
         hints: &Hints,
     ) -> (PlanSchedule, CacheOutcome) {
+        let (schedule, outcome, _) = self.get_or_compile_tagged(requests, topology, nprocs, hints, 0);
+        (schedule, outcome)
+    }
+
+    /// [`get_or_compile_traced`](Self::get_or_compile_traced) on behalf of
+    /// job `job`: a reuse of an entry compiled by a *different* job
+    /// additionally bumps the cross-job counters. The third return is true
+    /// exactly for such cross-job reuses. Untagged lookups use job 0.
+    pub fn get_or_compile_tagged(
+        &mut self,
+        requests: impl Into<Arc<Vec<OffsetList>>>,
+        topology: &Topology,
+        nprocs: usize,
+        hints: &Hints,
+        job: u64,
+    ) -> (PlanSchedule, CacheOutcome, bool) {
         let requests: Arc<Vec<OffsetList>> = requests.into();
         let lo = global_lo(&requests);
         let key = CacheKey {
@@ -786,12 +861,16 @@ impl PlanCache {
         };
         if let Some(entry) = self.entries.get(&key) {
             if same_shape(&entry.requests, entry.lo, &requests, lo) {
+                let cross = entry.origin != job;
                 if lo == entry.lo {
                     // Same shape at the same offset: bitwise-equal requests.
                     self.stats.hits += 1;
+                    if cross {
+                        self.stats.cross_job_hits += 1;
+                    }
                     let mut schedule = entry.schedule.clone();
                     schedule.plan.requests = requests;
-                    return (schedule, CacheOutcome::Hit);
+                    return (schedule, CacheOutcome::Hit, cross);
                 }
                 // The partition is translation-equivariant only for shifts
                 // that are multiples of its period: the alignment for even
@@ -802,8 +881,11 @@ impl PlanCache {
                     (lo as i128 - entry.lo as i128).rem_euclid(period as i128) == 0;
                 if delta_aligned {
                     self.stats.translations += 1;
+                    if cross {
+                        self.stats.cross_job_translations += 1;
+                    }
                     let schedule = entry.schedule.translate(requests, entry.lo, lo);
-                    return (schedule, CacheOutcome::Translated);
+                    return (schedule, CacheOutcome::Translated, cross);
                 }
             }
         }
@@ -815,10 +897,152 @@ impl PlanCache {
             CacheEntry {
                 requests,
                 lo,
+                origin: job,
                 schedule: schedule.clone(),
             },
         );
-        (schedule, CacheOutcome::Miss)
+        (schedule, CacheOutcome::Miss, false)
+    }
+}
+
+/// A process-wide, thread-safe [`PlanCache`] shared by concurrent jobs.
+///
+/// Jobs issuing the same hyperslab shapes (same rank count, topology, and
+/// hints) hit one compiled [`PlanSchedule`] no matter which job compiled
+/// it — the cache key deliberately excludes file identity, so two jobs
+/// sweeping different files with the same striping hit exactly. Lookups
+/// are tagged with a job id; reuses of another job's entry are counted
+/// separately (see [`PlanCacheStats::cross_job_hits`]).
+#[derive(Default)]
+pub struct SharedPlanCache {
+    inner: Mutex<PlanCache>,
+}
+
+impl SharedPlanCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tagged lookup on behalf of `job` (see
+    /// [`PlanCache::get_or_compile_tagged`]). One lock acquisition per
+    /// lookup; the returned schedule shares its compiled tables with the
+    /// cache via `Arc`, so no copying happens under the lock on a hit.
+    pub fn get_or_compile_tagged(
+        &self,
+        requests: impl Into<Arc<Vec<OffsetList>>>,
+        topology: &Topology,
+        nprocs: usize,
+        hints: &Hints,
+        job: u64,
+    ) -> (PlanSchedule, CacheOutcome, bool) {
+        self.inner
+            .lock()
+            .unwrap()
+            .get_or_compile_tagged(requests, topology, nprocs, hints, job)
+    }
+
+    /// Lifetime counters over all jobs.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().unwrap().stats()
+    }
+}
+
+/// Where an engine run gets its compiled schedules from.
+///
+/// Threading this through the engines lets one code path serve all three
+/// caching regimes: no cache (one-shot runs), a per-run local cache (an
+/// iterative sweep), or the process-wide [`SharedPlanCache`] of the
+/// multi-job service. The `Shared` variant carries per-holder `seen`
+/// counters so each job can report its own cache experience even though
+/// the cache itself is shared.
+pub enum PlanSource<'a> {
+    /// Compile fresh on every lookup; nothing is cached.
+    Fresh,
+    /// A caller-owned cache spanning one run or sweep.
+    Local(&'a mut PlanCache),
+    /// A process-wide cache shared across jobs.
+    Shared {
+        /// The shared cache.
+        cache: &'a SharedPlanCache,
+        /// The id lookups are tagged with.
+        job: u64,
+        /// What this holder observed: its own hits/translations/misses,
+        /// with the cross-job subsets filled in.
+        seen: PlanCacheStats,
+    },
+}
+
+impl<'a> PlanSource<'a> {
+    /// A source for a job tagged `job` drawing on `cache`, with zeroed
+    /// per-holder counters.
+    pub fn shared(cache: &'a SharedPlanCache, job: u64) -> Self {
+        PlanSource::Shared {
+            cache,
+            job,
+            seen: PlanCacheStats::default(),
+        }
+    }
+
+    /// Adapts the engines' older optional-local-cache parameter.
+    pub fn from_option(cache: Option<&'a mut PlanCache>) -> Self {
+        match cache {
+            Some(c) => PlanSource::Local(c),
+            None => PlanSource::Fresh,
+        }
+    }
+
+    /// Returns the compiled schedule for `requests` from this source.
+    /// Deterministic across ranks for `Fresh` and `Local`; for `Shared`
+    /// the *schedule* is still rank-deterministic (all ranks compute the
+    /// same tables or share the same entry) though which rank's lookup
+    /// populates the cache first is not.
+    pub fn get(
+        &mut self,
+        requests: impl Into<Arc<Vec<OffsetList>>>,
+        topology: &Topology,
+        nprocs: usize,
+        hints: &Hints,
+    ) -> PlanSchedule {
+        match self {
+            PlanSource::Fresh => {
+                let plan =
+                    CollectivePlan::build(requests.into(), topology, nprocs, hints);
+                PlanSchedule::compile(plan)
+            }
+            PlanSource::Local(cache) => cache.get_or_compile(requests, topology, nprocs, hints),
+            PlanSource::Shared { cache, job, seen } => {
+                let (schedule, outcome, cross) =
+                    cache.get_or_compile_tagged(requests, topology, nprocs, hints, *job);
+                match outcome {
+                    CacheOutcome::Hit => {
+                        seen.hits += 1;
+                        if cross {
+                            seen.cross_job_hits += 1;
+                        }
+                    }
+                    CacheOutcome::Translated => {
+                        seen.translations += 1;
+                        if cross {
+                            seen.cross_job_translations += 1;
+                        }
+                    }
+                    CacheOutcome::Miss => seen.misses += 1,
+                }
+                schedule
+            }
+        }
+    }
+
+    /// The counters this holder observed: the local cache's lifetime stats
+    /// for `Local`, the per-holder `seen` counters for `Shared`, zeros for
+    /// `Fresh`.
+    pub fn seen(&self) -> PlanCacheStats {
+        match self {
+            PlanSource::Fresh => PlanCacheStats::default(),
+            PlanSource::Local(cache) => cache.stats(),
+            PlanSource::Shared { seen, .. } => *seen,
+        }
     }
 }
 
@@ -1060,7 +1284,124 @@ mod tests {
         assert_eq!(o2, CacheOutcome::Hit);
         assert!(Arc::ptr_eq(&s1.index, &s2.index), "hit must share index tables");
         assert!(Arc::ptr_eq(&s1.geom, &s2.geom), "hit must share geometry tables");
-        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, translations: 0, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                translations: 0,
+                misses: 1,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn shared_cache_counts_cross_job_reuse() {
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 8, 16);
+        let shared = SharedPlanCache::new();
+        // Job 1 compiles; its own re-lookup is a plain (same-job) hit.
+        let (s1, o1, c1) = shared.get_or_compile_tagged(reqs.clone(), &topo, 2, &hints(64), 1);
+        let (_, o2, c2) = shared.get_or_compile_tagged(reqs.clone(), &topo, 2, &hints(64), 1);
+        assert_eq!((o1, c1), (CacheOutcome::Miss, false));
+        assert_eq!((o2, c2), (CacheOutcome::Hit, false));
+        // Job 2 issuing the same shape reuses job 1's entry: a cross-job hit.
+        let (s3, o3, c3) = shared.get_or_compile_tagged(reqs.clone(), &topo, 2, &hints(64), 2);
+        assert_eq!((o3, c3), (CacheOutcome::Hit, true));
+        assert!(s1.shares_index_with(&s3), "cross-job hit must share one index");
+        // Job 3 issuing a period-aligned shift of the shape translates it.
+        let shifted: Vec<OffsetList> = reqs
+            .iter()
+            .map(|r| {
+                OffsetList::new(
+                    r.extents()
+                        .iter()
+                        .map(|e| Extent {
+                            offset: e.offset + 4096,
+                            len: e.len,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let (s4, o4, c4) = shared.get_or_compile_tagged(shifted, &topo, 2, &hints(64), 3);
+        assert_eq!((o4, c4), (CacheOutcome::Translated, true));
+        assert!(s1.shares_index_with(&s4), "translation must share one index");
+        let stats = shared.stats();
+        assert_eq!(
+            stats,
+            PlanCacheStats {
+                hits: 2,
+                translations: 1,
+                misses: 1,
+                cross_job_hits: 1,
+                cross_job_translations: 1,
+            }
+        );
+        assert!((stats.reuse_rate() - 0.75).abs() < 1e-12);
+        assert!((stats.cross_job_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_source_tracks_per_holder_stats() {
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 8, 16);
+        let shared = SharedPlanCache::new();
+        let mut job_a = PlanSource::shared(&shared, 7);
+        let mut job_b = PlanSource::shared(&shared, 8);
+        let sa = job_a.get(reqs.clone(), &topo, 2, &hints(64));
+        let sb = job_b.get(reqs.clone(), &topo, 2, &hints(64));
+        assert!(sa.shares_index_with(&sb));
+        // Each holder saw its own half of the story.
+        assert_eq!(job_a.seen().misses, 1);
+        assert_eq!(job_a.seen().hits, 0);
+        assert_eq!(job_b.seen().hits, 1);
+        assert_eq!(job_b.seen().cross_job_hits, 1);
+        assert_eq!(job_b.seen().misses, 0);
+        // The cache's global stats are the union.
+        assert_eq!(shared.stats(), job_a.seen().merge(&job_b.seen()));
+        // Fresh sources cache nothing and see nothing.
+        let mut fresh = PlanSource::Fresh;
+        let sf = fresh.get(reqs, &topo, 2, &hints(64));
+        assert!(!sf.shares_index_with(&sa), "fresh compile shares nothing");
+        assert_eq!(fresh.seen(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn shared_cache_concurrent_lookups_converge() {
+        // Many threads race the same shape into the shared cache: every
+        // lookup after the first few misses must reuse, totals must add
+        // up, and all returned schedules answer identically.
+        use std::sync::Arc as StdArc;
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 8, 16);
+        let shared = StdArc::new(SharedPlanCache::new());
+        let mut handles = Vec::new();
+        for job in 0..8u64 {
+            let shared = StdArc::clone(&shared);
+            let reqs = reqs.clone();
+            let topo = topo.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut src = PlanSource::shared(&shared, job);
+                let s = src.get(reqs, &topo, 2, &hints(64));
+                let shape = (s.sources_for(0).len(), s.sources_for(1).len());
+                (shape, src.seen())
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let shape0 = results[0].0;
+        assert!(results.iter().all(|(s, _)| *s == shape0));
+        let folded = results
+            .iter()
+            .fold(PlanCacheStats::default(), |acc, (_, s)| acc.merge(s));
+        assert_eq!(folded, shared.stats());
+        assert_eq!(folded.lookups(), 8);
+        // Exactly one job's compile survives in the cache; with unlucky
+        // interleaving several may *run*, but at least one lookup later
+        // than the first must have reused (8 threads, 1 entry).
+        assert!(folded.misses >= 1);
+        assert!(folded.hits + folded.misses == 8);
+        assert!(folded.cross_job_hits <= folded.hits);
     }
 
     #[test]

@@ -25,8 +25,7 @@ use cc_profile::{Activity, Segment};
 use crate::exchange::exchange_requests;
 use crate::extent::OffsetList;
 use crate::hints::{Compression, Hints, Striping};
-use crate::plan::CollectivePlan;
-use crate::schedule::{PlanCache, PlanSchedule};
+use crate::schedule::{PlanCache, PlanSchedule, PlanSource};
 
 /// Encodes `payload` for the wire when `mode` compresses this lane
 /// (inter-node only — intra-node and self traffic always travels raw).
@@ -178,6 +177,21 @@ pub fn collective_read_cached(
     hints: &Hints,
     cache: Option<&mut PlanCache>,
 ) -> (Vec<u8>, TwoPhaseReport) {
+    collective_read_planned(comm, pfs, file, my_request, hints, &mut PlanSource::from_option(cache))
+}
+
+/// [`collective_read`] drawing its compiled schedule from an explicit
+/// [`PlanSource`] — fresh compile, per-run cache, or the multi-job
+/// service's process-wide shared cache. Every rank must pass an equivalent
+/// source (the schedule decision must stay symmetric).
+pub fn collective_read_planned(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    my_request: &OffsetList,
+    hints: &Hints,
+    plans: &mut PlanSource<'_>,
+) -> (Vec<u8>, TwoPhaseReport) {
     // Entry time is captured before the request exchange: the exchange is
     // itself a collective that synchronizes clocks, so capturing it later
     // would erase the late arrival of a straggler rank.
@@ -194,15 +208,7 @@ pub fn collective_read_cached(
     let hints = &hints;
     let requests = exchange_requests(comm, my_request);
     let topology = comm.model().topology.clone();
-    let schedule = match cache {
-        Some(cache) => cache.get_or_compile(requests, &topology, comm.nprocs(), hints),
-        None => PlanSchedule::compile(CollectivePlan::build(
-            requests,
-            &topology,
-            comm.nprocs(),
-            hints,
-        )),
-    };
+    let schedule = plans.get(requests, &topology, comm.nprocs(), hints);
     // Every rank passed through the request exchange above, so the engine
     // tag counter is identical on all ranks: this collective's shuffle
     // traffic gets a unique tag, distinct from the previous and next calls.

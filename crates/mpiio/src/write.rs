@@ -18,8 +18,7 @@ use cc_profile::{Activity, Segment};
 use crate::exchange::exchange_requests;
 use crate::extent::{Extent, OffsetList};
 use crate::hints::{Hints, Striping};
-use crate::plan::CollectivePlan;
-use crate::schedule::{PlanCache, PlanSchedule};
+use crate::schedule::{PlanCache, PlanSchedule, PlanSource};
 use crate::twophase::{decode_from_wire, encode_for_wire};
 
 /// Tag base for write-shuffle messages; each collective stamps its
@@ -90,6 +89,30 @@ pub fn collective_write_cached(
     hints: &Hints,
     cache: Option<&mut PlanCache>,
 ) -> WriteReport {
+    collective_write_planned(
+        comm,
+        pfs,
+        file,
+        my_request,
+        data,
+        hints,
+        &mut PlanSource::from_option(cache),
+    )
+}
+
+/// [`collective_write`] drawing its compiled schedule from an explicit
+/// [`PlanSource`] (see
+/// [`collective_read_planned`](crate::twophase::collective_read_planned)
+/// for the symmetry requirement).
+pub fn collective_write_planned(
+    comm: &mut Comm,
+    pfs: &Pfs,
+    file: &FileHandle,
+    my_request: &OffsetList,
+    data: &[u8],
+    hints: &Hints,
+    plans: &mut PlanSource<'_>,
+) -> WriteReport {
     assert_eq!(
         data.len() as u64,
         my_request.total_bytes(),
@@ -104,15 +127,7 @@ pub fn collective_write_cached(
     let hints = &hints;
     let requests = exchange_requests(comm, my_request);
     let topology = comm.model().topology.clone();
-    let schedule = match cache {
-        Some(cache) => cache.get_or_compile(requests, &topology, comm.nprocs(), hints),
-        None => PlanSchedule::compile(CollectivePlan::build(
-            requests,
-            &topology,
-            comm.nprocs(),
-            hints,
-        )),
-    };
+    let schedule = plans.get(requests, &topology, comm.nprocs(), hints);
     // All ranks passed through the request exchange, so the counter is
     // symmetric and this collective's shuffle tag is unique to it.
     let tag = comm.next_engine_tag(TAG_WRITE_SHUFFLE);

@@ -10,7 +10,7 @@ use std::sync::RwLock;
 use crate::backend::Backend;
 use crate::fault::RetryPlan;
 use crate::layout::StripeLayout;
-use crate::ost::OstPool;
+use crate::ost::{OstPool, OstSnapshot};
 
 /// Global counters for one file system instance.
 #[derive(Debug, Default)]
@@ -484,6 +484,15 @@ impl Pfs {
     /// OST load imbalance: busiest over mean, 1.0 = balanced.
     pub fn ost_imbalance(&self) -> f64 {
         self.pool.imbalance()
+    }
+
+    /// Per-OST load snapshots at virtual time `now` (cumulative totals,
+    /// wait seconds, and the service backlog still queued at the probe
+    /// time) — see [`crate::ost::OstPool::snapshot_at`]. The multi-job
+    /// service takes deltas of these around each job step to attribute
+    /// cross-job contention.
+    pub fn ost_snapshot(&self, now: SimTime) -> Vec<OstSnapshot> {
+        self.pool.snapshot_at(now)
     }
 
     /// A point-in-time OST load snapshot (count, imbalance, busiest and

@@ -24,3 +24,4 @@ pub use backend::{Backend, MemBackend, OverlayBackend, SyntheticBackend, ValueFn
 pub use fault::RetryPlan;
 pub use fs::{FileHandle, OstBalance, Pfs, PfsStats};
 pub use layout::StripeLayout;
+pub use ost::OstSnapshot;

@@ -18,82 +18,61 @@
 //! and a *stalled* OST books its whole stall window up front so the first
 //! requests queue behind it — a controller failover, as seen by clients.
 
-use cc_model::{DiskModel, FaultPlan, SimTime};
+use cc_model::{BusyLedger, DiskModel, FaultPlan, SimTime};
 use std::sync::Mutex;
 
 #[derive(Debug, Default)]
 struct OstState {
-    /// Disjoint, sorted, coalesced busy intervals `[start, end)`.
-    busy: Vec<(SimTime, SimTime)>,
+    /// Busy intervals, delegated to the shared interval algebra in
+    /// `cc_model::booking` (hoisted from this module so the service layer
+    /// can arbitrate other resources with identical semantics).
+    ledger: BusyLedger,
     requests: u64,
     bytes: u64,
     /// Total service seconds booked (independent of coalescing).
     busy_secs: f64,
+    /// Seconds requests spent queued behind other bookings (booked start
+    /// minus requested start, summed over all requests).
+    waited_secs: f64,
+    /// Requests that could not start at their requested time.
+    delayed_requests: u64,
 }
 
 impl OstState {
-    /// Books the earliest interval of length `dur` starting at or after
-    /// `now`; returns its end.
-    fn book(&mut self, now: SimTime, dur: SimTime) -> SimTime {
-        let mut start = now;
-        // Intervals ending at or before `now` can never conflict nor offer
-        // a usable gap, so the scan starts at the first interval ending
-        // after `now` — deep virtual-future books skip the whole history.
-        let first = self.busy.partition_point(|&(_, e)| e <= now);
-        let mut pos = self.busy.len();
-        for (i, &(b_start, b_end)) in self.busy.iter().enumerate().skip(first) {
-            if b_end <= start {
-                continue; // interval entirely before our earliest start
-            }
-            if start + dur <= b_start {
-                pos = i; // fits in the gap before this interval
-                break;
-            }
-            start = start.max(b_end);
+    /// Books one extent's service and updates the load counters; returns
+    /// the completion time.
+    fn book(&mut self, now: SimTime, service: SimTime, bytes: u64) -> SimTime {
+        let done = self.ledger.book(now, service);
+        self.requests += 1;
+        self.bytes += bytes;
+        self.busy_secs += service.secs();
+        let waited = (done - service).saturating_since(now);
+        if waited > SimTime::ZERO {
+            self.waited_secs += waited.secs();
+            self.delayed_requests += 1;
         }
-        let end = start + dur;
-        // The gap search guarantees the new interval overlaps nothing, and
-        // `pos` is its sorted position — merge in place with whichever
-        // neighbours it exactly abuts (`start` came from a neighbour's end,
-        // so abutment is exact equality).
-        let abuts_prev = pos > 0 && self.busy[pos - 1].1 == start;
-        let abuts_next = pos < self.busy.len() && end == self.busy[pos].0;
-        match (abuts_prev, abuts_next) {
-            (true, true) => {
-                self.busy[pos - 1].1 = self.busy[pos].1;
-                self.busy.remove(pos);
-            }
-            (true, false) => self.busy[pos - 1].1 = end,
-            (false, true) => self.busy[pos].0 = start,
-            (false, false) => self.busy.insert(pos, (start, end)),
-        }
-        end
+        done
     }
+}
 
-    /// Re-sorts and merges the interval list. [`book`](Self::book) keeps
-    /// the list coalesced incrementally; this is only needed after an
-    /// out-of-order push like [`block_until`](Self::block_until).
-    fn coalesce(&mut self) {
-        self.busy.sort_by_key(|&(s, _)| s);
-        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(self.busy.len());
-        for &(s, e) in &self.busy {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
-            }
-        }
-        self.busy = merged;
-    }
-
-    /// Marks the OST busy from time zero until `until`, pushing all
-    /// service behind the stall. Not counted as busy seconds — the OST is
-    /// unavailable, not doing work.
-    fn block_until(&mut self, until: SimTime) {
-        if until > SimTime::ZERO {
-            self.busy.push((SimTime::ZERO, until));
-            self.coalesce();
-        }
-    }
+/// A point-in-time view of one OST's load, for attributing cross-job
+/// contention: cumulative totals plus the queue depth (backlog of already-
+/// booked service) at the probe time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OstSnapshot {
+    /// Extents served so far.
+    pub requests: u64,
+    /// Bytes served so far.
+    pub bytes: u64,
+    /// Total service seconds booked so far.
+    pub busy_secs: f64,
+    /// Seconds requests spent queued behind other bookings so far.
+    pub waited_secs: f64,
+    /// Requests that could not start at their requested time.
+    pub delayed_requests: u64,
+    /// Service seconds booked at or after the probe time — the OST's
+    /// queue depth in service-seconds.
+    pub backlog_secs: f64,
 }
 
 /// The OST pool of one file system.
@@ -130,7 +109,13 @@ impl OstPool {
             *factor = plan.ost_slowdown(ost);
         }
         for (ost, state) in self.osts.iter_mut().enumerate() {
-            state.get_mut().unwrap().block_until(plan.ost_stall(ost));
+            // The stall window is not billed as busy seconds — the OST is
+            // unavailable, not doing work.
+            state
+                .get_mut()
+                .unwrap()
+                .ledger
+                .block_until(plan.ost_stall(ost));
         }
     }
 
@@ -145,11 +130,7 @@ impl OstPool {
     pub fn serve(&self, ost: usize, now: SimTime, bytes: u64) -> SimTime {
         let mut state = self.osts[ost].lock().unwrap();
         let service = self.disk.service_time(bytes as usize).scale(self.slowdown[ost]);
-        let done = state.book(now, service);
-        state.requests += 1;
-        state.bytes += bytes;
-        state.busy_secs += service.secs();
-        done
+        state.book(now, service, bytes)
     }
 
     /// Serves a batch of merged extent runs on `ost` under a single lock
@@ -164,10 +145,7 @@ impl OstPool {
         let mut done = now;
         for &bytes in byte_runs {
             let service = self.disk.service_time(bytes as usize).scale(self.slowdown[ost]);
-            done = state.book(done, service);
-            state.requests += 1;
-            state.bytes += bytes;
-            state.busy_secs += service.secs();
+            done = state.book(done, service, bytes);
         }
         done
     }
@@ -197,6 +175,27 @@ impl OstPool {
             .map(|o| {
                 let s = o.lock().unwrap();
                 (s.requests, s.bytes)
+            })
+            .collect()
+    }
+
+    /// Per-OST load snapshots at virtual time `now`: cumulative totals plus
+    /// the backlog of booked-but-unfinished service at the probe time. The
+    /// multi-job scheduler and bench use deltas of these to attribute
+    /// cross-job contention to individual OSTs.
+    pub fn snapshot_at(&self, now: SimTime) -> Vec<OstSnapshot> {
+        self.osts
+            .iter()
+            .map(|o| {
+                let s = o.lock().unwrap();
+                OstSnapshot {
+                    requests: s.requests,
+                    bytes: s.bytes,
+                    busy_secs: s.busy_secs,
+                    waited_secs: s.waited_secs,
+                    delayed_requests: s.delayed_requests,
+                    backlog_secs: s.ledger.backlog_secs(now),
+                }
             })
             .collect()
     }
@@ -287,7 +286,7 @@ mod tests {
         let d = p.serve(0, SimTime::ZERO, 100);
         assert_eq!(d.secs(), 202.0);
         let state = p.osts[0].lock().unwrap();
-        assert_eq!(state.busy.len(), 1);
+        assert_eq!(state.ledger.intervals().len(), 1);
     }
 
     #[test]
@@ -335,6 +334,50 @@ mod tests {
         // OST 7 does not exist in this 2-OST pool; must not panic.
         p.apply_faults(&FaultPlan::default().slow_ost(7, 4.0));
         assert_eq!(p.serve(0, SimTime::ZERO, 100).secs(), 2.0);
+    }
+
+    #[test]
+    fn snapshot_reports_waits_and_backlog() {
+        let p = pool();
+        let d1 = p.serve(0, SimTime::ZERO, 100); // [0, 2), no wait
+        let d2 = p.serve(0, SimTime::ZERO, 100); // [2, 4), waited 2 s
+        assert_eq!(d1, t(2.0));
+        assert_eq!(d2, t(4.0));
+        let snaps = p.snapshot_at(t(1.0));
+        assert_eq!(snaps.len(), 2);
+        let s = &snaps[0];
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes, 200);
+        assert!((s.busy_secs - 4.0).abs() < 1e-12);
+        assert!((s.waited_secs - 2.0).abs() < 1e-12);
+        assert_eq!(s.delayed_requests, 1);
+        // At t=1, three of the four booked seconds are still ahead.
+        assert!((s.backlog_secs - 3.0).abs() < 1e-12);
+        // The idle OST is all zeros.
+        assert_eq!(snaps[1], OstSnapshot::default());
+        // Past the horizon the backlog drains to zero; totals remain.
+        let late = p.snapshot_at(t(10.0));
+        assert!((late[0].backlog_secs).abs() < 1e-12);
+        assert_eq!(late[0].requests, 2);
+    }
+
+    #[test]
+    fn snapshot_waits_match_book_many_chaining() {
+        // A chained batch waits only where pre-existing bookings force it:
+        // identical to the sequential-serve oracle.
+        let p = pool();
+        let q = pool();
+        let _ = p.serve(0, SimTime::ZERO, 100);
+        let _ = q.serve(0, SimTime::ZERO, 100);
+        let _ = p.book_many(0, SimTime::ZERO, &[100, 100]);
+        let mut chained = SimTime::ZERO;
+        for _ in 0..2 {
+            chained = q.serve(0, chained, 100);
+        }
+        let ps = p.snapshot_at(SimTime::ZERO);
+        let qs = q.snapshot_at(SimTime::ZERO);
+        assert!((ps[0].waited_secs - qs[0].waited_secs).abs() < 1e-12);
+        assert_eq!(ps[0].delayed_requests, qs[0].delayed_requests);
     }
 
     #[test]
@@ -432,7 +475,7 @@ mod tests {
             let state = p.osts[0].lock().unwrap();
             let mut covered = 0.0;
             let mut prev_end = SimTime::ZERO;
-            for &(s, e) in &state.busy {
+            for &(s, e) in state.ledger.intervals() {
                 prop_assert!(s >= prev_end, "intervals overlap");
                 covered += (e - s).secs();
                 prev_end = e;

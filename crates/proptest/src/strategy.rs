@@ -176,7 +176,9 @@ tuple_strategy!(
     (A, B, C),
     (A, B, C, D),
     (A, B, C, D, E),
-    (A, B, C, D, E, F)
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
 );
 
 #[cfg(test)]

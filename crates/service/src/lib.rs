@@ -1,0 +1,33 @@
+//! Multi-job collective service: a shared-cluster scheduler in front of
+//! the collective-computing engines.
+//!
+//! One simulated cluster rarely runs one analysis at a time. This crate
+//! admits, places, and runs N concurrent collective jobs over a single
+//! shared [`cc_pfs::Pfs`], an optional shared backbone lane, and one
+//! process-wide [`cc_mpiio::SharedPlanCache`]:
+//!
+//! * **Admission and placement** — a [`JobSpec`] names a file, a variable,
+//!   a sweep of hyperslab steps, a rank count, an arrival time, and a QoS
+//!   class; [`Service::submit`] validates it and [`Service::run`] carves
+//!   whole nodes out of the cluster for each job (backfilled, so small
+//!   jobs slip past wide ones waiting for nodes).
+//! * **A virtual-time event loop** — jobs execute one collective iteration
+//!   at a time, each step placed at the job's own virtual frontier via
+//!   `Comm::advance_to`, so concurrent jobs contend for OST intervals and
+//!   backbone bandwidth exactly where their demand windows overlap, while
+//!   the bytes each job moves stay untouched: every job's result is
+//!   bit-identical to its solo run under every policy.
+//! * **Cross-job plan reuse** — jobs issuing the same hyperslab shapes hit
+//!   one compiled schedule in the shared cache; per-job and cross-job
+//!   counters ride in each [`JobResult`].
+//! * **Fairness and QoS** — [`ServicePolicy::QosWfq`] steps interactive
+//!   jobs first and weighted-fair-queues batch jobs over attributed OST
+//!   busy-time; FIFO and round-robin are the baselines.
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod service;
+
+pub use job::{AdmissionError, JobHandle, JobResult, JobSpec, QosClass, StepSpec};
+pub use service::{Service, ServiceOutcome, ServicePolicy};

@@ -9,6 +9,8 @@
 //!   application tasks ("Min Sea-Level Pressure", "Max 10 m wind speed",
 //!   Fig. 13).
 //! - [`incite`]: the INCITE application data requirements of Table I.
+//! - [`traffic`]: mixed multi-job populations (background batch sweeps +
+//!   interactive ROI queries) for the shared-cluster collective service.
 //!
 //! Every generator is a closed-form function of the element index, so any
 //! reduction computed through the full stack can be verified against an
@@ -18,7 +20,9 @@
 
 pub mod climate;
 pub mod incite;
+pub mod traffic;
 pub mod wrf;
 
 pub use climate::ClimateWorkload;
+pub use traffic::MixedTraffic;
 pub use wrf::{WrfGrid, WrfWorkload};

@@ -919,6 +919,293 @@ fn deeper_staging_rings_monotonically_speed_up_reads() {
     );
 }
 
+/// One randomly-drawn job for the multi-job service equivalence sweep.
+#[derive(Debug, Clone)]
+struct MixJob {
+    nprocs: usize,
+    steps: usize,
+    extra_rows: u64,
+    cols: u64,
+    interactive: bool,
+    weight: u8,
+    arrival_us: u64,
+    file: usize,
+}
+
+impl MixJob {
+    fn rows_per_step(&self) -> u64 {
+        self.nprocs as u64 + self.extra_rows
+    }
+
+    fn var_rows(&self) -> u64 {
+        self.steps as u64 * self.rows_per_step()
+    }
+
+    fn spec(&self, id: usize) -> cc_service::JobSpec {
+        use cc_core::SumKernel;
+        let var = cc_array::Variable::new(
+            "v",
+            Shape::new(vec![self.var_rows(), self.cols]),
+            cc_array::DType::F64,
+            0,
+        );
+        let mut spec = cc_service::JobSpec::new(
+            format!("job-{id}"),
+            format!("mix-{}.nc", self.file),
+            var,
+            self.nprocs,
+            Arc::new(SumKernel),
+        )
+        .weight(self.weight as f64)
+        .arrival(SimTime::from_secs(self.arrival_us as f64 * 1e-6));
+        if self.interactive {
+            spec = spec.class(cc_service::QosClass::Interactive);
+        }
+        for s in 0..self.steps as u64 {
+            spec = spec.step(
+                vec![s * self.rows_per_step(), 0],
+                vec![self.rows_per_step(), self.cols],
+            );
+        }
+        spec
+    }
+}
+
+/// A random service workload: K jobs over two shared files, one of three
+/// scheduling policies, one of four fault plans.
+#[derive(Debug, Clone)]
+struct ServiceMix {
+    jobs: Vec<MixJob>,
+    policy: usize,
+    fault: usize,
+}
+
+impl ServiceMix {
+    fn policy(&self) -> cc_service::ServicePolicy {
+        [
+            cc_service::ServicePolicy::QosWfq,
+            cc_service::ServicePolicy::Fifo,
+            cc_service::ServicePolicy::RoundRobin,
+        ][self.policy]
+    }
+
+    fn fault(&self) -> Option<FaultPlan> {
+        match self.fault {
+            0 => None,
+            1 => Some(FaultPlan::new().slow_ost(0, 6.0)),
+            2 => Some(FaultPlan::new().straggle_rank(0, 4.0)),
+            _ => Some(FaultPlan::new().slow_ost(1, 3.0).straggle_rank(1, 2.0)),
+        }
+    }
+
+    /// A fresh service over freshly-built files (data is identical across
+    /// builds; only booking state would differ, and that never leaks into
+    /// results).
+    fn service(&self) -> cc_service::Service {
+        let mut model = test_model(4, 2);
+        let mut fs = Pfs::new(4, DiskModel::lustre_like());
+        if let Some(p) = self.fault() {
+            fs = fs.with_fault_plan(&p);
+            model = model.with_fault(p);
+        }
+        for f in 0..2usize {
+            let elems = self
+                .jobs
+                .iter()
+                .filter(|j| j.file == f)
+                .map(|j| j.var_rows() * j.cols)
+                .max()
+                .unwrap_or(64);
+            fs.create(
+                &format!("mix-{f}.nc"),
+                StripeLayout::round_robin(1 << 9, 4, 0, 4),
+                Box::new(SyntheticBackend::new(elems, ElemKind::F64, test_value)),
+            );
+        }
+        let mut svc =
+            cc_service::Service::new(model, Arc::new(fs)).with_policy(self.policy());
+        // A modest shared backbone, so the lane booking path runs too.
+        svc = svc.with_backbone(1e9);
+        for (id, job) in self.jobs.iter().enumerate() {
+            svc.submit(job.spec(id)).expect("mix jobs admit");
+        }
+        svc
+    }
+}
+
+fn arb_service_mix() -> impl Strategy<Value = ServiceMix> {
+    (
+        proptest::collection::vec(
+            (
+                1usize..4,
+                1usize..4,
+                0u64..8,
+                1u64..6,
+                0u8..2,
+                1u8..8,
+                0u64..5000,
+                0usize..2,
+            ),
+            2..5,
+        ),
+        0usize..3,
+        0usize..4,
+    )
+        .prop_map(|(raw, policy, fault)| ServiceMix {
+            jobs: raw
+                .into_iter()
+                .map(
+                    |(nprocs, steps, extra_rows, cols8, interactive, weight, arrival_us, file)| {
+                        MixJob {
+                            nprocs,
+                            steps,
+                            extra_rows,
+                            cols: cols8 * 8,
+                            interactive: interactive == 1,
+                            weight,
+                            arrival_us,
+                            file,
+                        }
+                    },
+                )
+                .collect(),
+            policy,
+            fault,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The multi-job service invariant: under ANY interleaving — random
+    /// policies, QoS classes, weights, arrivals, and fault plans with slow
+    /// OSTs and straggler ranks — every job's checksum is bit-identical to
+    /// the serial execution of the same jobs, and the shared plan-cache
+    /// counters partition exactly across jobs.
+    #[test]
+    fn prop_concurrent_jobs_bit_identical_to_serial_under_faults(mix in arb_service_mix()) {
+        let conc = mix.service().run();
+        let ser = mix.service().run_serial();
+        prop_assert_eq!(conc.jobs.len(), ser.jobs.len());
+        for (c, s) in conc.jobs.iter().zip(&ser.jobs) {
+            prop_assert_eq!(c.id, s.id);
+            prop_assert!(c.global.is_some(), "job {} lost its global", c.name);
+            prop_assert_eq!(
+                c.checksum(),
+                s.checksum(),
+                "job {} diverged from serial under policy {:?} fault {:?}",
+                c.name.clone(),
+                mix.policy(),
+                mix.fault()
+            );
+            prop_assert!(c.finished >= c.started);
+            prop_assert!(c.started >= c.submitted);
+        }
+        // Per-job cache counters partition the shared cache's totals.
+        let folded = conc
+            .jobs
+            .iter()
+            .fold(cc_mpiio::PlanCacheStats::default(), |acc, j| acc.merge(&j.plan_cache));
+        prop_assert_eq!(folded, conc.cache);
+        // Serial execution with private caches can never cross jobs.
+        prop_assert_eq!(ser.cache.cross_job_hits, 0);
+        prop_assert_eq!(ser.cache.cross_job_translations, 0);
+    }
+}
+
+/// Shared-plan-cache regression under true concurrent access: two jobs
+/// with translated-copy-compatible shapes (same per-rank extents, shifted
+/// file offsets) run in separate worlds on separate OS threads against
+/// one `SharedPlanCache`. Exactly one lookup anywhere may compile; every
+/// other lookup must hit or translate that entry, and the non-compiling
+/// job's lookups must all be counted as cross-job.
+#[test]
+fn shared_plan_cache_concurrent_jobs_share_and_count() {
+    use cc_core::{iterative_get_vara_shared, SumKernel};
+    use cc_mpiio::SharedPlanCache;
+
+    const NPROCS: usize = 2;
+    const STEPS: u64 = 2;
+    const ROWS: u64 = 8;
+    const COLS: u64 = 16;
+    let fs = Pfs::new(4, DiskModel::lustre_like());
+    for name in ["a.nc", "b.nc"] {
+        fs.create(
+            name,
+            StripeLayout::round_robin(1 << 9, 4, 0, 4),
+            Box::new(SyntheticBackend::new(
+                2 * STEPS * ROWS * COLS,
+                ElemKind::F64,
+                test_value,
+            )),
+        );
+    }
+    let fs = Arc::new(fs);
+    let cache = Arc::new(SharedPlanCache::new());
+    let run_job = |file: &'static str, job: u64, row0: u64| {
+        let fs = Arc::clone(&fs);
+        let cache = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            let var = cc_array::Variable::new(
+                "v",
+                Shape::new(vec![2 * STEPS * ROWS, COLS]),
+                cc_array::DType::F64,
+                0,
+            );
+            let world = World::new(NPROCS, test_model(1, NPROCS));
+            let fs = &fs;
+            let cache = &cache;
+            let var = &var;
+            let outs = world.run(move |comm| {
+                let file = fs.open(file).expect("exists");
+                let per = ROWS / NPROCS as u64;
+                let ios: Vec<_> = (0..STEPS)
+                    .map(|s| {
+                        let start = vec![row0 + s * ROWS + comm.rank() as u64 * per, 0];
+                        cc_core::ObjectIo::new(start, vec![per, COLS])
+                    })
+                    .collect();
+                let steps: Vec<_> = ios.iter().map(|io| (var, io.clone())).collect();
+                iterative_get_vara_shared(comm, fs, &file, &steps, &SumKernel, cache, job)
+            });
+            // Sum per-rank stats: each rank made STEPS lookups.
+            outs.iter().fold(cc_mpiio::PlanCacheStats::default(), |acc, o| {
+                acc.merge(&o.plan_cache)
+            })
+        })
+    };
+    // Job 7 starts at row 0, job 8 at a translated-copy-compatible shift
+    // (same shape, ROWS further into the variable).
+    let ja = run_job("a.nc", 7, 0);
+    let jb = run_job("b.nc", 8, ROWS);
+    let sa = ja.join().expect("job 7 completes");
+    let sb = jb.join().expect("job 8 completes");
+    let total = sa.merge(&sb);
+    let shared = cache.stats();
+    assert_eq!(total, shared, "per-job stats must partition the shared totals");
+    // 2 jobs x 2 ranks x 2 steps = 8 lookups; the compile happens under
+    // the cache lock, so exactly one lookup misses no matter how the
+    // worlds' threads interleave — everyone else hits or translates.
+    assert_eq!(shared.lookups(), 8);
+    assert_eq!(shared.misses, 1, "racing jobs recompiled: {shared:?}");
+    assert_eq!(shared.hits + shared.translations, 7);
+    // The job that did not compile made 4 lookups, all against the other
+    // job's entry.
+    assert_eq!(
+        shared.cross_job_hits + shared.cross_job_translations,
+        4,
+        "cross-job accounting wrong: {shared:?}"
+    );
+    let crosses = [
+        sa.cross_job_hits + sa.cross_job_translations,
+        sb.cross_job_hits + sb.cross_job_translations,
+    ];
+    assert!(
+        crosses == [0, 4] || crosses == [4, 0],
+        "one job compiles, the other rides: {crosses:?}"
+    );
+}
+
 /// Fault sweep: under slow OSTs and straggler ranks, every staging depth
 /// must still move the identical bytes — adversity may stretch the
 /// virtual clock but can never reorder what lands in a buffer. The test
