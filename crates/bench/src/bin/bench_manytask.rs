@@ -1,0 +1,94 @@
+//! Many-task request-fusion benchmark: runs ≥10k tiny analysis tasks
+//! (1024 under `--quick`) through the batch runner three ways — fused
+//! collective sweeps, independent per-task I/O, and solo ground truth —
+//! over identically-built file systems, and writes `BENCH_manytask.json`.
+//!
+//! Per-task FNV checksums must be bit-identical across all three modes
+//! and match brute-force oracles before anything is reported: fusion
+//! changes how bytes reach tasks, never what any task computes. The
+//! acceptance gate is a ≥10x reduction in OST extents served and in
+//! total OST busy-time, fused vs independent.
+
+use cc_bench::manytask::{manytask_row_json, run_comparison_manytask, ManyTaskBenchConfig};
+use cc_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = ManyTaskBenchConfig::for_scale(scale);
+    let row = run_comparison_manytask(&cfg);
+
+    // Acceptance: fusing the population must cut both the positioning
+    // operations and the total OST busy-time by an order of magnitude.
+    assert!(
+        row.extent_reduction >= 10.0,
+        "extent reduction only {:.1}x ({} independent -> {} fused)",
+        row.extent_reduction,
+        row.extents_independent,
+        row.extents_fused
+    );
+    assert!(
+        row.busy_reduction >= 10.0,
+        "OST busy-time reduction only {:.1}x ({:.3}s independent -> {:.3}s fused)",
+        row.busy_reduction,
+        row.busy_independent_secs,
+        row.busy_fused_secs
+    );
+    // Acceptance: every task rode a fused sweep, and compiled schedules
+    // amortize over many tasks.
+    assert_eq!(row.cache.fused_tasks as usize, row.tasks);
+    assert!(
+        row.tasks_per_schedule >= row.tasks as f64 / (2.0 * row.bins as f64),
+        "only {:.1} tasks per compiled schedule over {} bins",
+        row.tasks_per_schedule,
+        row.bins
+    );
+
+    let t = cfg.workload();
+    let json = format!(
+        "{{\n  \"bench\": \"manytask_fusion\",\n  \"scale\": \"{}\",\n  \
+         \"extent_reduction\": {:.1},\n  \"busy_reduction\": {:.1},\n  \
+         \"nodes\": {},\n  \"cores_per_node\": {},\n  \"ranks\": {},\n  \
+         \"osts\": {},\n  \"rows\": {},\n  \"cols\": {},\n  \
+         \"task_rows\": {},\n  \"task_cols\": {},\n  \"waves\": {},\n  \
+         \"comparison\": {}\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        row.extent_reduction,
+        row.busy_reduction,
+        cfg.nodes,
+        cfg.cores,
+        t.nprocs,
+        t.total_osts,
+        t.rows,
+        t.cols,
+        t.task_rows,
+        t.task_cols,
+        t.waves,
+        manytask_row_json(&row),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_manytask.json", &json).expect("write BENCH_manytask.json");
+    eprintln!(
+        "{} tasks in {} bins: extents {} -> {} ({:.0}x), OST busy {:.3}s -> {:.3}s ({:.0}x), \
+         bytes {} -> {} (dedup {:.2}x), p50 {:.1} ms -> {:.1} ms, p99 {:.1} ms -> {:.1} ms, \
+         {:.0} tasks/schedule",
+        row.tasks,
+        row.bins,
+        row.extents_independent,
+        row.extents_fused,
+        row.extent_reduction,
+        row.busy_independent_secs,
+        row.busy_fused_secs,
+        row.busy_reduction,
+        row.bytes_independent,
+        row.bytes_fused,
+        row.dedup_factor,
+        row.p50_independent_secs * 1e3,
+        row.p50_fused_secs * 1e3,
+        row.p99_independent_secs * 1e3,
+        row.p99_fused_secs * 1e3,
+        row.tasks_per_schedule,
+    );
+}

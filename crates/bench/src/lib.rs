@@ -16,6 +16,7 @@ pub mod compress;
 pub mod figs;
 pub mod hotpath;
 pub mod layout;
+pub mod manytask;
 pub mod pipeline;
 pub mod plan;
 pub mod runner;

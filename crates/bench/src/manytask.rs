@@ -1,0 +1,263 @@
+//! Many-task request-fusion benchmark: fused collective sweeps vs
+//! independent per-task I/O at ≥10k tiny tasks.
+//!
+//! The scenario is the paper's loosely-coupled worst case: thousands of
+//! small analysis tasks ([`ManyTask`]) each reading a few kilobytes of a
+//! shared striped file. The harness runs the same population three ways,
+//! each over a freshly built file system (OST booking state persists
+//! inside a [`cc_pfs::Pfs`], so comparative runs must not share one):
+//!
+//! 1. **Fused** — [`TaskBatch::run_fused`]: tasks binned by (file,
+//!    kernel class) per arrival wave, each bin's extents union-merged and
+//!    served by one shared collective sweep, results scattered per task;
+//! 2. **Independent** — [`TaskBatch::run_independent`]: every task issues
+//!    its own reads, one positioning operation per extent;
+//! 3. **Solo** — [`TaskBatch::run_solo`]: each task alone in a fresh
+//!    single-rank world — the ground truth.
+//!
+//! Per-task FNV checksums must be bit-identical across all three before
+//! anything is reported: fusion moves *how* bytes reach tasks, never what
+//! any task computes. The headline is the reduction in OST extents served
+//! and OST busy-time, fused vs independent.
+
+use cc_model::{ClusterModel, DiskModel};
+use cc_mpiio::PlanCacheStats;
+use cc_service::{BatchOutcome, TaskBatch};
+use cc_workloads::ManyTask;
+
+use crate::Scale;
+
+/// Cluster shape and population size for the many-task bench.
+#[derive(Debug, Clone, Copy)]
+pub struct ManyTaskBenchConfig {
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Cores per node (ranks = nodes x cores).
+    pub cores: usize,
+    /// Tasks in the population.
+    pub tasks: usize,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl ManyTaskBenchConfig {
+    /// `Full` is the headline configuration (256 ranks, 64 OSTs, 10240
+    /// tasks); `Quick` the CI smoke shape (16 ranks, 8 OSTs, 1024 tasks).
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => Self {
+                nodes: 64,
+                cores: 4,
+                tasks: 10240,
+                scale,
+            },
+            Scale::Quick => Self {
+                nodes: 8,
+                cores: 2,
+                tasks: 1024,
+                scale,
+            },
+        }
+    }
+
+    /// The task population at this scale.
+    pub fn workload(&self) -> ManyTask {
+        let mut t = match self.scale {
+            Scale::Quick => ManyTask::quick(self.tasks),
+            Scale::Full => ManyTask::full(self.tasks),
+        };
+        t.nprocs = self.nodes * self.cores;
+        t
+    }
+
+    fn model(&self) -> ClusterModel {
+        ClusterModel::hopper_like(self.nodes, self.cores)
+    }
+}
+
+/// What the three-way comparison measured.
+#[derive(Debug, Clone)]
+pub struct ManyTaskRow {
+    /// Tasks in the population.
+    pub tasks: usize,
+    /// Bins the fused run dispatched.
+    pub bins: usize,
+    /// OST extents served by the independent baseline.
+    pub extents_independent: u64,
+    /// OST extents served by the fused run.
+    pub extents_fused: u64,
+    /// Extents served, independent / fused — the headline.
+    pub extent_reduction: f64,
+    /// Total OST busy-seconds booked by the independent baseline.
+    pub busy_independent_secs: f64,
+    /// Total OST busy-seconds booked by the fused run.
+    pub busy_fused_secs: f64,
+    /// OST busy-time, independent / fused.
+    pub busy_reduction: f64,
+    /// Bytes the file system moved for the independent baseline
+    /// (duplicates re-read per task).
+    pub bytes_independent: u64,
+    /// Bytes the file system moved for the fused run (duplicates once).
+    pub bytes_fused: u64,
+    /// Bytes the tasks requested (duplicates counted per task) / bytes
+    /// the fused run actually read — the dedup win, within-rank fusion
+    /// and cross-rank aggregator coverage combined.
+    pub dedup_factor: f64,
+    /// Median per-task latency of the fused run, virtual seconds.
+    pub p50_fused_secs: f64,
+    /// p99 per-task latency of the fused run.
+    pub p99_fused_secs: f64,
+    /// Median per-task latency of the independent baseline.
+    pub p50_independent_secs: f64,
+    /// p99 per-task latency of the independent baseline.
+    pub p99_independent_secs: f64,
+    /// Makespan of the fused run, virtual seconds.
+    pub makespan_fused_secs: f64,
+    /// Makespan of the independent baseline, virtual seconds.
+    pub makespan_independent_secs: f64,
+    /// Tasks served per compiled collective schedule.
+    pub tasks_per_schedule: f64,
+    /// Shared plan-cache counters of the fused run.
+    pub cache: PlanCacheStats,
+}
+
+fn run_mode(
+    cfg: &ManyTaskBenchConfig,
+    t: &ManyTask,
+    run: impl FnOnce(TaskBatch) -> BatchOutcome,
+) -> BatchOutcome {
+    let mut batch =
+        TaskBatch::new(cfg.model(), t.build_fs(DiskModel::lustre_like())).with_policy(t.policy());
+    for spec in t.specs() {
+        batch.submit(spec).expect("bench specs admit cleanly");
+    }
+    run(batch)
+}
+
+/// Runs the population fused, independent, and solo, asserting per-task
+/// bit-identity across all three and against the brute-force oracles.
+pub fn run_comparison_manytask(cfg: &ManyTaskBenchConfig) -> ManyTaskRow {
+    let t = cfg.workload();
+    let fused = run_mode(cfg, &t, TaskBatch::run_fused);
+    let indep = run_mode(cfg, &t, TaskBatch::run_independent);
+    let solo = run_mode(cfg, &t, TaskBatch::run_solo);
+
+    assert_eq!(fused.tasks.len(), cfg.tasks);
+    for ((f, i), s) in fused.tasks.iter().zip(&indep.tasks).zip(&solo.tasks) {
+        assert_eq!(
+            f.checksum(),
+            s.checksum(),
+            "task {}: fused result diverged from solo run",
+            f.name
+        );
+        assert_eq!(
+            i.checksum(),
+            s.checksum(),
+            "task {}: independent result diverged from solo run",
+            i.name
+        );
+    }
+    for (i, task) in fused.tasks.iter().enumerate() {
+        let want = t.oracle_task(i);
+        assert_eq!(task.value.len(), want.len(), "task {i} arity");
+        for (got, want) in task.value.iter().zip(&want) {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "task {i}: got {got}, oracle {want}"
+            );
+        }
+    }
+
+    let task_bytes: u64 = fused.bins.iter().map(|b| b.task_bytes).sum();
+    ManyTaskRow {
+        tasks: cfg.tasks,
+        bins: fused.bins.len(),
+        extents_independent: indep.extents_served,
+        extents_fused: fused.extents_served,
+        extent_reduction: indep.extents_served as f64 / fused.extents_served.max(1) as f64,
+        busy_independent_secs: indep.ost_busy_secs,
+        busy_fused_secs: fused.ost_busy_secs,
+        busy_reduction: indep.ost_busy_secs / fused.ost_busy_secs.max(f64::MIN_POSITIVE),
+        bytes_independent: indep.bytes_read,
+        bytes_fused: fused.bytes_read,
+        dedup_factor: task_bytes as f64 / fused.bytes_read.max(1) as f64,
+        p50_fused_secs: fused.latency_p50.secs(),
+        p99_fused_secs: fused.latency_p99.secs(),
+        p50_independent_secs: indep.latency_p50.secs(),
+        p99_independent_secs: indep.latency_p99.secs(),
+        makespan_fused_secs: fused.makespan.secs(),
+        makespan_independent_secs: indep.makespan.secs(),
+        tasks_per_schedule: fused.tasks_per_schedule(),
+        cache: fused.plan_cache,
+    }
+}
+
+/// The row as a JSON object (hand-built, no serde in the workspace).
+pub fn manytask_row_json(r: &ManyTaskRow) -> String {
+    format!(
+        "{{ \"tasks\": {}, \"bins\": {}, \"extents_independent\": {}, \
+         \"extents_fused\": {}, \"extent_reduction\": {:.1}, \
+         \"busy_independent_secs\": {:.6e}, \"busy_fused_secs\": {:.6e}, \
+         \"busy_reduction\": {:.1}, \"bytes_independent\": {}, \
+         \"bytes_fused\": {}, \"dedup_factor\": {:.2}, \
+         \"p50_fused_secs\": {:.6e}, \"p99_fused_secs\": {:.6e}, \
+         \"p50_independent_secs\": {:.6e}, \"p99_independent_secs\": {:.6e}, \
+         \"makespan_fused_secs\": {:.6e}, \"makespan_independent_secs\": {:.6e}, \
+         \"tasks_per_schedule\": {:.1}, \"plan_compiles\": {}, \
+         \"plan_hits\": {}, \"plan_translations\": {}, \
+         \"cross_bin_hits\": {}, \"cross_bin_translations\": {}, \
+         \"fused_tasks\": {} }}",
+        r.tasks,
+        r.bins,
+        r.extents_independent,
+        r.extents_fused,
+        r.extent_reduction,
+        r.busy_independent_secs,
+        r.busy_fused_secs,
+        r.busy_reduction,
+        r.bytes_independent,
+        r.bytes_fused,
+        r.dedup_factor,
+        r.p50_fused_secs,
+        r.p99_fused_secs,
+        r.p50_independent_secs,
+        r.p99_independent_secs,
+        r.makespan_fused_secs,
+        r.makespan_independent_secs,
+        r.tasks_per_schedule,
+        r.cache.misses,
+        r.cache.hits,
+        r.cache.translations,
+        r.cache.cross_job_hits,
+        r.cache.cross_job_translations,
+        r.cache.fused_tasks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_fuses_and_stays_bit_identical() {
+        let cfg = ManyTaskBenchConfig {
+            tasks: 256,
+            ..ManyTaskBenchConfig::for_scale(Scale::Quick)
+        };
+        let row = run_comparison_manytask(&cfg);
+        assert_eq!(row.tasks, 256);
+        // 4 waves x 2 kernel classes.
+        assert_eq!(row.bins, 8);
+        assert!(
+            row.extent_reduction >= 10.0,
+            "extent reduction only {:.1}x ({} -> {})",
+            row.extent_reduction,
+            row.extents_independent,
+            row.extents_fused
+        );
+        assert!(row.busy_reduction > 1.0, "busy reduction {:.2}", row.busy_reduction);
+        assert!(row.dedup_factor > 1.5, "dedup factor {:.2}", row.dedup_factor);
+        assert_eq!(row.cache.fused_tasks, 256);
+        assert!(row.tasks_per_schedule >= 256.0 / 8.0);
+    }
+}

@@ -32,6 +32,7 @@ pub mod intermediate;
 pub mod iterative;
 pub mod kernel;
 pub mod object;
+pub mod scatter;
 pub mod scratch;
 
 pub use baseline::{traditional_get_vara, traditional_get_vara_partial, BaselineReport};
@@ -49,4 +50,5 @@ pub use kernel::{
     Partial, SumKernel, SumSqKernel,
 };
 pub use object::{IoMode, ObjectIo, ReduceMode};
+pub use scatter::{fold_task_bytes, fold_task_from_fused};
 pub use scratch::Scratch;

@@ -24,6 +24,7 @@
 pub mod auto;
 pub mod exchange;
 pub mod extent;
+pub mod fuse;
 pub mod hints;
 pub mod independent;
 pub mod plan;
@@ -33,6 +34,7 @@ pub mod write;
 
 pub use auto::{collective_read_auto, ranges_interleave, AutoReport};
 pub use extent::{Extent, OffsetList, Piece};
+pub use fuse::{fuse_extents, project_extent, project_task, FuseStats};
 pub use hints::{Compression, DomainPartition, ErrorBound, Hints, PipelineDepth, Striping};
 pub use independent::{
     independent_read, independent_write, sieving_read, sieving_write, IndependentReport,

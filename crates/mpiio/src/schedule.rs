@@ -717,6 +717,10 @@ pub struct PlanCacheStats {
     /// Offset-translation reuses of another job's entry — the subset of
     /// `translations` owed to cache sharing.
     pub cross_job_translations: u64,
+    /// Tasks whose I/O was served through a fused (batched) schedule —
+    /// the numerator of the batch-amortization ratio. Bumped by the
+    /// task-fusion layer, once per task folded into a shared sweep.
+    pub fused_tasks: u64,
 }
 
 impl PlanCacheStats {
@@ -748,6 +752,17 @@ impl PlanCacheStats {
         }
     }
 
+    /// Tasks served per compiled schedule: how far each full compile was
+    /// amortized by request fusion (0.0 before any task was fused). A
+    /// batch of 10k tasks that needed one compile reports 10000.0.
+    pub fn amortization(&self) -> f64 {
+        if self.fused_tasks == 0 {
+            0.0
+        } else {
+            self.fused_tasks as f64 / self.misses.max(1) as f64
+        }
+    }
+
     /// Element-wise sum, for folding per-rank or per-job stats.
     pub fn merge(&self, other: &PlanCacheStats) -> PlanCacheStats {
         PlanCacheStats {
@@ -756,6 +771,7 @@ impl PlanCacheStats {
             misses: self.misses + other.misses,
             cross_job_hits: self.cross_job_hits + other.cross_job_hits,
             cross_job_translations: self.cross_job_translations + other.cross_job_translations,
+            fused_tasks: self.fused_tasks + other.fused_tasks,
         }
     }
 }
@@ -903,6 +919,12 @@ impl PlanCache {
         );
         (schedule, CacheOutcome::Miss, false)
     }
+
+    /// Credits `tasks` fused tasks to this cache's amortization counter
+    /// (see [`PlanCacheStats::fused_tasks`]).
+    pub fn note_fused_tasks(&mut self, tasks: u64) {
+        self.stats.fused_tasks += tasks;
+    }
 }
 
 /// A process-wide, thread-safe [`PlanCache`] shared by concurrent jobs.
@@ -945,6 +967,11 @@ impl SharedPlanCache {
     /// Lifetime counters over all jobs.
     pub fn stats(&self) -> PlanCacheStats {
         self.inner.lock().unwrap().stats()
+    }
+
+    /// Credits `tasks` fused tasks to the shared amortization counter.
+    pub fn note_fused_tasks(&self, tasks: u64) {
+        self.inner.lock().unwrap().note_fused_tasks(tasks);
     }
 }
 
@@ -1030,6 +1057,22 @@ impl<'a> PlanSource<'a> {
                     CacheOutcome::Miss => seen.misses += 1,
                 }
                 schedule
+            }
+        }
+    }
+
+    /// Credits `tasks` fused tasks served through this source's schedules:
+    /// `Local` bumps the cache's lifetime counter, `Shared` bumps both the
+    /// holder's `seen` counters and the shared cache's totals (so folded
+    /// per-holder stats still partition the shared totals), `Fresh` is a
+    /// no-op (nothing was amortized).
+    pub fn note_fused_tasks(&mut self, tasks: u64) {
+        match self {
+            PlanSource::Fresh => {}
+            PlanSource::Local(cache) => cache.note_fused_tasks(tasks),
+            PlanSource::Shared { cache, seen, .. } => {
+                seen.fused_tasks += tasks;
+                cache.note_fused_tasks(tasks);
             }
         }
     }
@@ -1336,6 +1379,7 @@ mod tests {
                 misses: 1,
                 cross_job_hits: 1,
                 cross_job_translations: 1,
+                fused_tasks: 0,
             }
         );
         assert!((stats.reuse_rate() - 0.75).abs() < 1e-12);
@@ -1365,6 +1409,26 @@ mod tests {
         let sf = fresh.get(reqs, &topo, 2, &hints(64));
         assert!(!sf.shares_index_with(&sa), "fresh compile shares nothing");
         assert_eq!(fresh.seen(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn fused_task_credits_partition_and_amortize() {
+        let topo = Topology::new(1, 2);
+        let reqs = interleaved(2, 8, 16);
+        let shared = SharedPlanCache::new();
+        let mut job_a = PlanSource::shared(&shared, 1);
+        let mut job_b = PlanSource::shared(&shared, 2);
+        let _ = job_a.get(reqs.clone(), &topo, 2, &hints(64));
+        job_a.note_fused_tasks(600);
+        let _ = job_b.get(reqs, &topo, 2, &hints(64));
+        job_b.note_fused_tasks(400);
+        // Per-holder credits partition the shared totals (Eq over stats).
+        assert_eq!(shared.stats(), job_a.seen().merge(&job_b.seen()));
+        assert_eq!(shared.stats().fused_tasks, 1000);
+        // One compile served every task: amortization is tasks/compile.
+        assert!((shared.stats().amortization() - 1000.0).abs() < 1e-12);
+        // Fresh sources amortize nothing.
+        assert_eq!(PlanCacheStats::default().amortization(), 0.0);
     }
 
     #[test]

@@ -23,11 +23,20 @@
 //! * **Fairness and QoS** — [`ServicePolicy::QosWfq`] steps interactive
 //!   jobs first and weighted-fair-queues batch jobs over attributed OST
 //!   busy-time; FIFO and round-robin are the baselines.
+//! * **Many-task request fusion** — [`TaskBatch`] admits thousands of
+//!   tiny independent analysis tasks, bins them by file and kernel
+//!   class, union-merges each bin's extents, and serves every bin with
+//!   one shared collective sweep — per-task results bit-identical to
+//!   solo execution, per-task latency attributed through the batch.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod job;
 pub mod service;
 
+pub use batch::{
+    BatchAdmissionError, BatchOutcome, BatchPolicy, BinReport, TaskBatch, TaskResult, TaskSpec,
+};
 pub use job::{AdmissionError, JobHandle, JobResult, JobSpec, QosClass, StepSpec};
-pub use service::{Service, ServiceOutcome, ServicePolicy};
+pub use service::{percentile_time, Service, ServiceOutcome, ServicePolicy};

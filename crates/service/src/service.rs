@@ -95,6 +95,13 @@ pub struct ServiceOutcome {
     pub ost: Vec<OstSnapshot>,
     /// Backbone-lane counters, when the service ran with a shared lane.
     pub lane: Option<LaneStats>,
+    /// Median per-job latency (submission → finish). Both the concurrent
+    /// and the serial/independent path fill this, so fused-vs-independent
+    /// latency comparisons read off one struct instead of re-deriving
+    /// percentiles from makespans.
+    pub latency_p50: SimTime,
+    /// 99th-percentile per-job latency (submission → finish).
+    pub latency_p99: SimTime,
 }
 
 impl ServiceOutcome {
@@ -106,6 +113,17 @@ impl ServiceOutcome {
         }
         self.jobs.len() as f64 / self.makespan.secs()
     }
+}
+
+/// The `p`-th percentile of a set of virtual durations (nearest-rank, the
+/// same convention the bench harness uses); zero for an empty set.
+pub fn percentile_time(mut times: Vec<SimTime>, p: f64) -> SimTime {
+    if times.is_empty() {
+        return SimTime::ZERO;
+    }
+    times.sort();
+    let idx = ((times.len() as f64 * p / 100.0).ceil() as usize).clamp(1, times.len());
+    times[idx - 1]
 }
 
 /// A scheduler running N concurrent collective jobs over one shared
@@ -508,13 +526,18 @@ fn assemble(
     let makespan = jobs.iter().map(|j| j.clock).max().unwrap_or(SimTime::ZERO);
     let ost = pfs.ost_snapshot(makespan);
     let lane = lane.map(|l| l.stats());
-    let jobs = jobs.into_iter().map(Job::into_result).collect();
+    let jobs: Vec<JobResult> = jobs.into_iter().map(Job::into_result).collect();
+    let latencies: Vec<SimTime> = jobs.iter().map(JobResult::latency).collect();
+    let latency_p50 = percentile_time(latencies.clone(), 50.0);
+    let latency_p99 = percentile_time(latencies, 99.0);
     ServiceOutcome {
         jobs,
         makespan,
         cache,
         ost,
         lane,
+        latency_p50,
+        latency_p99,
     }
 }
 
@@ -784,6 +807,30 @@ mod tests {
         for (c, s) in conc.jobs.iter().zip(&ser.jobs) {
             assert_eq!(c.checksum(), s.checksum());
         }
+    }
+
+    /// Both runners report latency percentiles over per-job (submission →
+    /// finish) latencies, so fused-vs-independent comparisons read off one
+    /// struct.
+    #[test]
+    fn outcomes_report_latency_percentiles() {
+        let mk = || {
+            let mut svc = Service::new(cluster(2, 2), fs_with(&["a", "b"], 32 * 32));
+            svc.submit(sweep_job("a", "a", 2, 3, 8, 32)).unwrap();
+            svc.submit(sweep_job("b", "b", 2, 3, 8, 32)).unwrap();
+            svc
+        };
+        for out in [mk().run(), mk().run_serial()] {
+            assert!(out.latency_p50 > SimTime::ZERO);
+            assert!(out.latency_p50 <= out.latency_p99);
+            let worst = out.jobs.iter().map(JobResult::latency).max().unwrap();
+            assert_eq!(out.latency_p99, worst, "p99 of 2 jobs is the max");
+        }
+        // Nearest-rank percentile convention, pinned.
+        let times: Vec<SimTime> = (1..=100).map(|i| SimTime::from_secs(i as f64)).collect();
+        assert_eq!(percentile_time(times.clone(), 50.0), SimTime::from_secs(50.0));
+        assert_eq!(percentile_time(times, 99.0), SimTime::from_secs(99.0));
+        assert_eq!(percentile_time(Vec::new(), 50.0), SimTime::ZERO);
     }
 
     /// More queued jobs than nodes: placement queues the overflow and

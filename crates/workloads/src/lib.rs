@@ -11,6 +11,8 @@
 //! - [`incite`]: the INCITE application data requirements of Table I.
 //! - [`traffic`]: mixed multi-job populations (background batch sweeps +
 //!   interactive ROI queries) for the shared-cluster collective service.
+//! - [`manytask`]: thousands of tiny overlapping analysis tasks in
+//!   arrival waves for the request-fusion batch runner.
 //!
 //! Every generator is a closed-form function of the element index, so any
 //! reduction computed through the full stack can be verified against an
@@ -20,9 +22,11 @@
 
 pub mod climate;
 pub mod incite;
+pub mod manytask;
 pub mod traffic;
 pub mod wrf;
 
 pub use climate::ClimateWorkload;
+pub use manytask::ManyTask;
 pub use traffic::MixedTraffic;
 pub use wrf::{WrfGrid, WrfWorkload};

@@ -1232,3 +1232,196 @@ fn fault_plans_stretch_clocks_but_never_bytes_at_any_depth() {
         }
     }
 }
+
+/// A random many-task fusion mix: overlapping, disjoint, and duplicate
+/// regions, mixed kernel classes (bounded-error sums and exact min-locs),
+/// scattered arrivals, random batch widths and fuse windows, under the
+/// same fault plans the service property sweeps.
+#[derive(Debug, Clone)]
+struct TaskMixCase {
+    /// Per task: (row, col8, rows, cols8, kernel, arrival_us, duplicate).
+    tasks: Vec<(u64, u64, u64, u64, u8, u64, u8)>,
+    nprocs: usize,
+    window_ms: usize,
+    fault: usize,
+}
+
+const MIX_ROWS: u64 = 32;
+const MIX_COLS: u64 = 32;
+
+impl TaskMixCase {
+    fn fault(&self) -> Option<FaultPlan> {
+        match self.fault {
+            0 => None,
+            1 => Some(FaultPlan::new().slow_ost(0, 6.0)),
+            2 => Some(FaultPlan::new().straggle_rank(0, 4.0)),
+            _ => Some(FaultPlan::new().slow_ost(1, 3.0).straggle_rank(1, 2.0)),
+        }
+    }
+
+    /// Every task's effective `(start, count, kernel)` — duplicates
+    /// resolved to their predecessor, exactly as `batch()` submits them.
+    fn resolved(&self) -> Vec<(Vec<u64>, Vec<u64>, u8)> {
+        let mut out: Vec<(Vec<u64>, Vec<u64>, u8)> = Vec::with_capacity(self.tasks.len());
+        for &(row, col8, rows, cols8, kernel, _, dup) in &self.tasks {
+            match out.last() {
+                Some(prev) if dup == 1 => out.push(prev.clone()),
+                _ => out.push((vec![row, col8 * 8], vec![rows, cols8 * 8], kernel)),
+            }
+        }
+        out
+    }
+
+    /// A fresh batch over a freshly-built file (data is identical across
+    /// builds; only OST booking state differs, which never leaks into
+    /// results).
+    fn batch(&self) -> cc_service::TaskBatch {
+        let mut model = test_model(2, 4);
+        let mut fs = Pfs::new(4, DiskModel::lustre_like());
+        if let Some(p) = self.fault() {
+            fs = fs.with_fault_plan(&p);
+            model = model.with_fault(p);
+        }
+        fs.create(
+            "mix.nc",
+            StripeLayout::round_robin(1 << 9, 4, 0, 4),
+            Box::new(SyntheticBackend::new(
+                MIX_ROWS * MIX_COLS,
+                ElemKind::F64,
+                test_value,
+            )),
+        );
+        let var = cc_array::Variable::new(
+            "v",
+            Shape::new(vec![MIX_ROWS, MIX_COLS]),
+            cc_array::DType::F64,
+            0,
+        );
+        let mut batch = cc_service::TaskBatch::new(model, Arc::new(fs)).with_policy(
+            cc_service::BatchPolicy {
+                nprocs: self.nprocs,
+                fuse_window: SimTime::from_secs(self.window_ms as f64 * 1e-3),
+                ..cc_service::BatchPolicy::default()
+            },
+        );
+        for (i, ((start, count, kernel), &(.., arrival_us, _))) in
+            self.resolved().into_iter().zip(&self.tasks).enumerate()
+        {
+            let k: Arc<dyn cc_core::MapKernel> = if kernel == 0 {
+                Arc::new(SumKernel)
+            } else {
+                Arc::new(MinLocKernel)
+            };
+            batch
+                .submit(
+                    cc_service::TaskSpec::new(
+                        format!("t{i}"),
+                        "mix.nc",
+                        var.clone(),
+                        start,
+                        count,
+                        k,
+                    )
+                    .arrival(SimTime::from_secs(arrival_us as f64 * 1e-6)),
+                )
+                .expect("mix tasks admit");
+        }
+        batch
+    }
+}
+
+fn arb_task_mix() -> impl Strategy<Value = TaskMixCase> {
+    (
+        proptest::collection::vec(
+            (
+                0u64..28,
+                0u64..3,
+                1u64..5,
+                1u64..3,
+                0u8..2,
+                0u64..5000,
+                0u8..2,
+            ),
+            3..16,
+        ),
+        1usize..6,
+        0usize..4,
+        0usize..4,
+    )
+        .prop_map(|(tasks, nprocs, window_ms, fault)| TaskMixCase {
+            tasks,
+            nprocs,
+            window_ms,
+            fault,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The task-fusion invariant: on ANY many-task mix — overlapping,
+    /// disjoint, and duplicate regions, mixed kernel classes, scattered
+    /// arrivals, random batch widths and fuse windows, slow OSTs and
+    /// straggler ranks — every task's fused result is bit-identical to
+    /// its solo and independent executions, matches a brute-force oracle
+    /// (dedup never drops or mangles a byte), and the fused-task counter
+    /// accounts for every task exactly once.
+    #[test]
+    fn prop_fused_tasks_bit_identical_to_solo_under_faults(mix in arb_task_mix()) {
+        let fused = mix.batch().run_fused();
+        let indep = mix.batch().run_independent();
+        let solo = mix.batch().run_solo();
+        prop_assert_eq!(fused.tasks.len(), mix.tasks.len());
+        for ((f, i), s) in fused.tasks.iter().zip(&indep.tasks).zip(&solo.tasks) {
+            prop_assert_eq!(
+                f.checksum(),
+                s.checksum(),
+                "task {} fused diverged from solo under fault {:?}",
+                f.name.clone(),
+                mix.fault()
+            );
+            prop_assert_eq!(
+                i.checksum(),
+                s.checksum(),
+                "task {} independent diverged from solo",
+                i.name.clone()
+            );
+            prop_assert!(f.bin.is_some(), "task {} was never binned", f.name.clone());
+            prop_assert!(f.finished >= f.submitted);
+        }
+        // Oracle check: fusion must deliver every task its exact bytes.
+        let shape = Shape::new(vec![MIX_ROWS, MIX_COLS]);
+        for (t, (start, count, kernel)) in fused.tasks.iter().zip(mix.resolved()) {
+            let slab = Hyperslab::new(start.clone(), count.clone());
+            if kernel == 0 {
+                let want = oracle_sum(&shape, &slab);
+                let got = t.value[0];
+                prop_assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "task {}: sum {} != oracle {}",
+                    t.name.clone(),
+                    got,
+                    want
+                );
+            } else {
+                let (min, loc) = oracle_min_loc(&shape, &slab);
+                prop_assert_eq!(
+                    t.value[0].to_bits(),
+                    min.to_bits(),
+                    "task {}: min {} != oracle {}",
+                    t.name.clone(),
+                    t.value[0],
+                    min
+                );
+                prop_assert_eq!(t.value[1] as u64, loc, "task {} min-loc", t.name.clone());
+            }
+        }
+        // Fused-task accounting: every task rode exactly one fused
+        // schedule; the independent path never fuses.
+        prop_assert_eq!(fused.plan_cache.fused_tasks, mix.tasks.len() as u64);
+        prop_assert_eq!(indep.plan_cache.fused_tasks, 0);
+        // Binning conserves tasks across bins.
+        let binned: usize = fused.bins.iter().map(|b| b.tasks).sum();
+        prop_assert_eq!(binned, mix.tasks.len());
+    }
+}
